@@ -1,0 +1,168 @@
+package oversub
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the BWD
+// monitoring interval, the skip flag, the vanilla wakeup-path cost, and
+// the virtual-blocking flag cost. Each reports how the headline result
+// moves when the knob moves.
+
+import (
+	"fmt"
+	"testing"
+
+	"oversub/internal/bwd"
+	"oversub/internal/futex"
+	"oversub/internal/hw"
+	"oversub/internal/locks"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+// spinRing builds the lu-style bounded wavefront used by several
+// ablations: threads spinning on plain flags, tightly coupled.
+func spinRing(k *sched.Kernel, threads, laps int, chunk sim.Duration) {
+	flags := make([]*sched.Word, threads)
+	for i := range flags {
+		flags[i] = k.NewWord(0)
+	}
+	for i := 0; i < threads; i++ {
+		i := i
+		sig := hw.NewSpinSig(0x900000+uint64(i)*0x80, 4, false)
+		prev := flags[(i+threads-1)%threads]
+		next := flags[(i+1)%threads]
+		k.Spawn("stage", func(t *sched.Thread) {
+			for lap := uint64(1); lap <= uint64(laps); lap++ {
+				lap := lap
+				if i > 0 {
+					t.SpinUntil(func() bool { return prev.Load() >= lap }, sig)
+				}
+				if lap > 1 && i < threads-1 {
+					t.SpinUntil(func() bool { return next.Load() >= lap-1 }, sig)
+				}
+				t.Run(chunk)
+				flags[i].Store(lap)
+			}
+		})
+	}
+}
+
+func ablateKernel(cores int, costs sched.Costs, feat sched.Features, seed uint64) *sched.Kernel {
+	eng := sim.NewEngine(seed*31 + 7)
+	return sched.New(eng, sched.Config{
+		Topo:  hw.Topology{Sockets: 2, CoresPerSocket: (cores + 1) / 2, ThreadsPerCore: 1},
+		NCPUs: cores,
+		Costs: costs,
+		Feat:  feat,
+		Seed:  seed,
+	})
+}
+
+// BenchmarkAblation_BWDInterval sweeps the monitoring period. Shorter
+// intervals catch spinners sooner (lower makespan on a spin workload) but
+// the paper picked 100us as the smallest interval without noticeable
+// overhead; the sweep shows the recovery saturating.
+func BenchmarkAblation_BWDInterval(b *testing.B) {
+	for _, interval := range []sim.Duration{50, 100, 200, 400} {
+		interval := interval * sim.Microsecond
+		b.Run(fmt.Sprintf("%v", interval), func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				k := ablateKernel(8, sched.DefaultCosts(), sched.Features{}, uint64(i)+1)
+				spinRing(k, 32, 40, 30*sim.Microsecond)
+				det := bwd.New(k, bwd.Config{Mode: bwd.ModeBWD, Interval: interval})
+				det.Start()
+				if err := k.RunToCompletion(sim.Time(60 * sim.Second)); err != nil {
+					b.Fatal(err)
+				}
+				makespan = sim.Duration(k.Now()).Millis()
+			}
+			b.ReportMetric(makespan, "makespan-ms")
+		})
+	}
+}
+
+// BenchmarkAblation_SkipFlag compares BWD with and without the skip flag:
+// without it, a descheduled spinner with low vruntime is often rescheduled
+// immediately, burning another window.
+func BenchmarkAblation_SkipFlag(b *testing.B) {
+	for _, noSkip := range []bool{false, true} {
+		name := "with-skip"
+		if noSkip {
+			name = "no-skip"
+		}
+		b.Run(name, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				k := ablateKernel(8, sched.DefaultCosts(), sched.Features{}, uint64(i)+1)
+				spinRing(k, 32, 40, 30*sim.Microsecond)
+				det := bwd.New(k, bwd.Config{Mode: bwd.ModeBWD, NoSkip: noSkip})
+				det.Start()
+				if err := k.RunToCompletion(sim.Time(60 * sim.Second)); err != nil {
+					b.Fatal(err)
+				}
+				makespan = sim.Duration(k.Now()).Millis()
+			}
+			b.ReportMetric(makespan, "makespan-ms")
+		})
+	}
+}
+
+// barrierRounds runs an oversubscribed barrier workload on a kernel and
+// returns its makespan (the Figure 9/10 shape in miniature).
+func barrierRounds(k *sched.Kernel, threads, rounds int) sim.Duration {
+	tbl := futex.NewTable(k, 0)
+	bar := locks.NewBarrier(tbl, threads)
+	for i := 0; i < threads; i++ {
+		k.Spawn("w", func(t *sched.Thread) {
+			for r := 0; r < rounds; r++ {
+				t.Run(40 * sim.Microsecond)
+				bar.Await(t)
+			}
+		})
+	}
+	if err := k.RunToCompletion(sim.Time(60 * sim.Second)); err != nil {
+		panic(err)
+	}
+	return sim.Duration(k.Now())
+}
+
+// BenchmarkAblation_WakePathCost scales the vanilla wakeup-path constants.
+// VB's advantage should grow with the cost of the path it removes.
+func BenchmarkAblation_WakePathCost(b *testing.B) {
+	for _, scale := range []float64{0.5, 1, 2, 4} {
+		b.Run(fmt.Sprintf("x%.1f", scale), func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				costs := sched.DefaultCosts()
+				costs.SelectCoreBase = sim.Duration(float64(costs.SelectCoreBase) * scale)
+				costs.RQLockHold = sim.Duration(float64(costs.RQLockHold) * scale)
+				costs.Enqueue = sim.Duration(float64(costs.Enqueue) * scale)
+				costs.SleepDequeue = sim.Duration(float64(costs.SleepDequeue) * scale)
+				van := barrierRounds(ablateKernel(8, costs, sched.Features{}, uint64(i)+1), 32, 150)
+				vb := barrierRounds(ablateKernel(8, costs, sched.Features{VB: true}, uint64(i)+1), 32, 150)
+				gain = float64(van) / float64(vb)
+			}
+			b.ReportMetric(gain, "VB-gain")
+		})
+	}
+}
+
+// BenchmarkAblation_VBFlagCost scales VB's own flag-clear cost; the
+// mechanism's benefit should be robust until the flag path approaches the
+// vanilla path it replaces.
+func BenchmarkAblation_VBFlagCost(b *testing.B) {
+	for _, scale := range []float64{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("x%.0f", scale), func(b *testing.B) {
+			var gain float64
+			for i := 0; i < b.N; i++ {
+				costs := sched.DefaultCosts()
+				costs.VBWake = sim.Duration(float64(costs.VBWake) * scale)
+				costs.VBBlock = sim.Duration(float64(costs.VBBlock) * scale)
+				costs.FlagCheck = sim.Duration(float64(costs.FlagCheck) * scale)
+				van := barrierRounds(ablateKernel(8, sched.DefaultCosts(), sched.Features{}, uint64(i)+1), 32, 150)
+				vb := barrierRounds(ablateKernel(8, costs, sched.Features{VB: true}, uint64(i)+1), 32, 150)
+				gain = float64(van) / float64(vb)
+			}
+			b.ReportMetric(gain, "VB-gain")
+		})
+	}
+}

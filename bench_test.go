@@ -1,0 +1,277 @@
+package oversub
+
+// One testing.B benchmark per table and figure of the paper. Each bench
+// runs the experiment's representative configuration once per iteration
+// and reports the headline comparison (who wins, by what factor) as custom
+// metrics, so `go test -bench=. -benchmem` regenerates the evaluation's
+// shape. cmd/hpdc21 prints the full row/series detail.
+
+import (
+	"testing"
+
+	"oversub/internal/workload"
+)
+
+// workloadPrimitive aliases the primitive enum for the Figure 10 bench.
+type workloadPrimitive = workload.Primitive
+
+// BenchmarkFig1_SuiteOversubscription measures the 32T/8T execution ratio
+// for one representative of each Figure 1 group.
+func BenchmarkFig1_SuiteOversubscription(b *testing.B) {
+	for _, name := range []string{"ep", "facesim", "streamcluster", "lu"} {
+		spec := FindBenchmark(name)
+		b.Run(name, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				base := RunBenchmark(spec, BenchConfig{Threads: 8, Cores: 8, Seed: uint64(i) + 1, WorkScale: 0.5})
+				over := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: uint64(i) + 1, WorkScale: 0.5})
+				ratio = float64(over.ExecTime) / float64(base.ExecTime)
+			}
+			b.ReportMetric(ratio, "32T/8T")
+		})
+	}
+}
+
+// BenchmarkFig2_DirectCSCost measures the per-context-switch direct cost.
+func BenchmarkFig2_DirectCSCost(b *testing.B) {
+	var perCS float64
+	for i := 0; i < b.N; i++ {
+		r1 := DirectCost(1, false, uint64(i)+1)
+		r8 := DirectCost(8, false, uint64(i)+1)
+		perCS = float64(r8.ExecTime-r1.ExecTime) / float64(r8.Switches)
+	}
+	b.ReportMetric(perCS, "ns/cs")
+}
+
+// BenchmarkFig3_SyncIntervals measures the suite's synchronization
+// interval distribution (reported: share of programs under the model's
+// 125us line, mirroring the paper's sub-1000us concentration).
+func BenchmarkFig3_SyncIntervals(b *testing.B) {
+	var under float64
+	for i := 0; i < b.N; i++ {
+		total, below := 0, 0
+		for _, s := range Benchmarks() {
+			if s.Rounds == 0 {
+				continue
+			}
+			total++
+			if s.Interval(s.OptimalThreads) <= 125*Microsecond {
+				below++
+			}
+		}
+		under = float64(below) / float64(total)
+	}
+	b.ReportMetric(under, "frac<=125us")
+}
+
+// BenchmarkFig4_IndirectCost measures the Figure 4 regimes: the seq-rmw
+// cost at 128MB (paper ~1ms) and the rnd-r benefit at 16MB.
+func BenchmarkFig4_IndirectCost(b *testing.B) {
+	var seq, rnd float64
+	for i := 0; i < b.N; i++ {
+		seq = IndirectCost(SeqRMW, 128<<20, uint64(i)+1).PerCS
+		rnd = IndirectCost(RndRead, 16<<20, uint64(i)+1).PerCS
+	}
+	b.ReportMetric(seq/1e6, "seq-rmw-ms/cs")
+	b.ReportMetric(rnd/1e6, "rnd-r-ms/cs")
+}
+
+// BenchmarkFig9_VirtualBlocking measures VB's recovery on the blocking
+// benchmarks: vanilla-32T and VB-32T ratios over the 8T baseline.
+func BenchmarkFig9_VirtualBlocking(b *testing.B) {
+	for _, name := range []string{"streamcluster", "cg", "ua"} {
+		spec := FindBenchmark(name)
+		b.Run(name, func(b *testing.B) {
+			var van, opt float64
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i) + 1
+				base := RunBenchmark(spec, BenchConfig{Threads: 8, Cores: 8, Seed: seed, WorkScale: 0.5})
+				v := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5})
+				o := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5,
+					Feat: Features{VB: true}})
+				van = float64(v.ExecTime) / float64(base.ExecTime)
+				opt = float64(o.ExecTime) / float64(base.ExecTime)
+			}
+			b.ReportMetric(van, "vanilla/8T")
+			b.ReportMetric(opt, "optimized/8T")
+		})
+	}
+}
+
+// BenchmarkFig10_Primitives measures VB's speedup on the pthread
+// primitive stress tests (32 threads, one core).
+func BenchmarkFig10_Primitives(b *testing.B) {
+	for _, prim := range []workloadPrimitive{PrimMutex, PrimCond, PrimBarrier} {
+		b.Run(prim.String(), func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i) + 1
+				van := PrimitiveStress(prim, 32, 1, false, seed)
+				vb := PrimitiveStress(prim, 32, 1, true, seed)
+				speedup = float64(van) / float64(vb)
+			}
+			b.ReportMetric(speedup, "VB-speedup")
+		})
+	}
+}
+
+// BenchmarkTable1_RuntimeStats measures utilization recovery and migration
+// reduction under VB for a representative blocking benchmark.
+func BenchmarkTable1_RuntimeStats(b *testing.B) {
+	spec := FindBenchmark("streamcluster")
+	var utilVan, utilOpt, migRatio float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		van := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5})
+		opt := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5,
+			Feat: Features{VB: true}})
+		utilVan = van.UtilPct
+		utilOpt = opt.UtilPct
+		vm := van.Metrics.MigrationsInNode + van.Metrics.MigrationsCrossNode
+		om := opt.Metrics.MigrationsInNode + opt.Metrics.MigrationsCrossNode
+		if om > 0 {
+			migRatio = float64(vm) / float64(om)
+		}
+	}
+	b.ReportMetric(utilVan, "util-vanilla")
+	b.ReportMetric(utilOpt, "util-optimized")
+	b.ReportMetric(migRatio, "migr-reduction")
+}
+
+// BenchmarkFig11_Elasticity measures how 32 VB threads exploit a cpuset
+// grown from 8 to 32 cores versus 8 threads.
+func BenchmarkFig11_Elasticity(b *testing.B) {
+	spec := FindBenchmark("ep")
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		plan := []CPUChange{{At: 2 * Millisecond, Cores: 32}}
+		few := RunBenchmark(spec, BenchConfig{Threads: 8, Cores: 8, Seed: seed, WorkScale: 0.5, Plan: plan})
+		many := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5, Plan: plan,
+			Feat: Features{VB: true}, Detect: DetectBWD})
+		gain = float64(few.ExecTime) / float64(many.ExecTime)
+	}
+	b.ReportMetric(gain, "32T-gain-on-32c")
+}
+
+// BenchmarkFig12_Memcached measures the tail-latency story: p99 inflation
+// under oversubscription and VB's cut.
+func BenchmarkFig12_Memcached(b *testing.B) {
+	var inflation, cut float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		base := RunMemcached(MemcachedConfig{Workers: 4, Cores: 4, Requests: 8000, Seed: seed})
+		over := RunMemcached(MemcachedConfig{Workers: 16, Cores: 4, Requests: 8000, Seed: seed})
+		vb := RunMemcached(MemcachedConfig{Workers: 16, Cores: 4, Requests: 8000, VB: true, Seed: seed})
+		inflation = float64(over.P99) / float64(base.P99)
+		cut = 1 - float64(vb.P99)/float64(over.P99)
+	}
+	b.ReportMetric(inflation, "p99-inflation")
+	b.ReportMetric(cut, "VB-p99-cut")
+}
+
+// BenchmarkFig13_Spinlocks measures BWD's recovery for each spinlock
+// class: a queue lock (MCS) and a barging lock (TTAS).
+func BenchmarkFig13_Spinlocks(b *testing.B) {
+	for _, kind := range []SpinLockKind{3 /* mcs */, 7 /* ttas */} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var van, opt float64
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i) + 1
+				base := SpinPipeline(kind, 8, 8, DetectOff, false, seed)
+				v := SpinPipeline(kind, 32, 8, DetectOff, false, seed)
+				o := SpinPipeline(kind, 32, 8, DetectBWD, false, seed)
+				van = float64(v.ExecTime) / float64(base.ExecTime)
+				opt = float64(o.ExecTime) / float64(base.ExecTime)
+			}
+			b.ReportMetric(van, "vanilla/8T")
+			b.ReportMetric(opt, "BWD/8T")
+		})
+	}
+}
+
+// BenchmarkFig14_CustomSpin measures vanilla collapse and BWD recovery on
+// lu and volrend (and PLE's blindness in a VM).
+func BenchmarkFig14_CustomSpin(b *testing.B) {
+	for _, name := range []string{"lu", "volrend"} {
+		spec := FindBenchmark(name)
+		b.Run(name, func(b *testing.B) {
+			var van, opt, ple float64
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i) + 1
+				base := RunBenchmark(spec, BenchConfig{Threads: 8, Cores: 8, Seed: seed, WorkScale: 0.5})
+				v := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5})
+				o := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5,
+					Detect: DetectBWD})
+				p := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5,
+					Feat: Features{VM: true}, Detect: DetectPLE})
+				van = float64(v.ExecTime) / float64(base.ExecTime)
+				opt = float64(o.ExecTime) / float64(base.ExecTime)
+				ple = float64(p.ExecTime) / float64(base.ExecTime)
+			}
+			b.ReportMetric(van, "vanilla/8T")
+			b.ReportMetric(opt, "BWD/8T")
+			b.ReportMetric(ple, "PLE/8T")
+		})
+	}
+}
+
+// BenchmarkTable2_Sensitivity measures BWD's true-positive rate on a
+// representative spinlock.
+func BenchmarkTable2_Sensitivity(b *testing.B) {
+	var sens float64
+	for i := 0; i < b.N; i++ {
+		r := Sensitivity(3 /* mcs */, 500, uint64(i)+1)
+		sens = r.Sensitivity
+	}
+	b.ReportMetric(sens*100, "sensitivity-%")
+}
+
+// BenchmarkTable3_FalsePositives measures BWD's specificity and overhead
+// on a spin-free blocking benchmark.
+func BenchmarkTable3_FalsePositives(b *testing.B) {
+	spec := FindBenchmark("cg")
+	var specificity, overhead float64
+	for i := 0; i < b.N; i++ {
+		seed := uint64(i) + 1
+		off := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5})
+		on := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5,
+			Detect: DetectBWD})
+		if on.BWD.Windows > 0 {
+			specificity = 100 * (1 - float64(on.BWD.FalsePositive)/float64(on.BWD.Windows))
+		}
+		overhead = 100 * (float64(on.ExecTime)/float64(off.ExecTime) - 1)
+	}
+	b.ReportMetric(specificity, "specificity-%")
+	b.ReportMetric(overhead, "overhead-%")
+}
+
+// BenchmarkFig15_LockLibraries measures the spin-then-park collapse and
+// the paper's advantage on streamcluster.
+func BenchmarkFig15_LockLibraries(b *testing.B) {
+	spec := FindBenchmark("streamcluster")
+	for _, impl := range []string{"pthread", "mutexee", "mcstp", "shfllock"} {
+		b.Run(impl, func(b *testing.B) {
+			var ratio float64
+			for i := 0; i < b.N; i++ {
+				seed := uint64(i) + 1
+				base := RunBenchmark(spec, BenchConfig{Threads: 8, Cores: 8, Seed: seed, WorkScale: 0.5})
+				r := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5,
+					LockImpl: impl})
+				ratio = float64(r.ExecTime) / float64(base.ExecTime)
+			}
+			b.ReportMetric(ratio, "32T/8T")
+		})
+	}
+	b.Run("optimized", func(b *testing.B) {
+		var ratio float64
+		for i := 0; i < b.N; i++ {
+			seed := uint64(i) + 1
+			base := RunBenchmark(spec, BenchConfig{Threads: 8, Cores: 8, Seed: seed, WorkScale: 0.5})
+			r := RunBenchmark(spec, BenchConfig{Threads: 32, Cores: 8, Seed: seed, WorkScale: 0.5,
+				Feat: Features{VB: true}, Detect: DetectBWD})
+			ratio = float64(r.ExecTime) / float64(base.ExecTime)
+		}
+		b.ReportMetric(ratio, "32T/8T")
+	})
+}

@@ -1,0 +1,135 @@
+// Command hpdc21 regenerates every table and figure of "Towards Exploiting
+// CPU Elasticity via Efficient Thread Oversubscription" (HPDC '21) on the
+// simulated kernel.
+//
+// Usage:
+//
+//	hpdc21 [flags] <experiment>...
+//	hpdc21 all
+//
+// Experiments: fig1 fig2 fig3 fig4 fig9 fig10 tab1 fig11 fig12 fig13 fig14
+// tab2 tab3 fig15.
+//
+// Absolute times are model outputs at a compressed scale (~1000x smaller
+// problems than the paper's testbed); the comparisons of interest — who
+// wins, by what factor, where crossovers fall — are what the tool reports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// out is the destination every experiment prints to; main points it at
+// stdout, or at stdout plus a per-experiment file under -out.
+var out io.Writer = os.Stdout
+
+type options struct {
+	seed   uint64
+	scale  float64
+	quick  bool
+	outDir string
+}
+
+type experiment struct {
+	name  string
+	title string
+	run   func(o options)
+}
+
+var experiments = []experiment{
+	{"fig1", "Figure 1: oversubscription across the 32-benchmark suite", fig1},
+	{"fig2", "Figure 2: direct cost of context switching", fig2},
+	{"fig3", "Figure 3: interval between synchronizations", fig3},
+	{"fig4", "Figure 4: indirect cost of context switches", fig4},
+	{"fig9", "Figure 9: virtual blocking on blocking-synchronization benchmarks", fig9},
+	{"fig10", "Figure 10: virtual blocking on pthreads primitives", fig10},
+	{"tab1", "Table 1: runtime statistics under oversubscription", tab1},
+	{"fig11", "Figure 11: runtime adaptation (CPU elasticity)", fig11},
+	{"fig12", "Figure 12: memcached service metrics", fig12},
+	{"fig13", "Figure 13: BWD applicability to various spinlocks", fig13},
+	{"fig14", "Figure 14: BWD on user-customized spinning (lu, volrend)", fig14},
+	{"tab2", "Table 2: BWD true-positive rate", tab2},
+	{"tab3", "Table 3: BWD false-positive rate", tab3},
+	{"fig15", "Figure 15: comparison with SHFLLOCK and spin-then-park locks", fig15},
+}
+
+func main() {
+	o := options{}
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.Float64Var(&o.scale, "scale", 1.0, "work scale factor for suite benchmarks")
+	flag.BoolVar(&o.quick, "quick", false, "reduced problem sizes for a fast pass")
+	flag.StringVar(&o.outDir, "out", "", "also write each experiment's output to <dir>/<name>.txt")
+	flag.Usage = usage
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if len(args) == 1 && args[0] == "all" {
+		for _, e := range experiments {
+			runExperiment(e, o)
+		}
+		return
+	}
+	for _, a := range args {
+		found := false
+		for _, e := range experiments {
+			if e.name == a {
+				runExperiment(e, o)
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+	}
+}
+
+// runExperiment executes one experiment, teeing its output to a file when
+// -out is set.
+func runExperiment(e experiment, o options) {
+	out = os.Stdout
+	var f *os.File
+	if o.outDir != "" {
+		if err := os.MkdirAll(o.outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var err error
+		f, err = os.Create(filepath.Join(o.outDir, e.name+".txt"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	banner(e.title)
+	e.run(o)
+	if f != nil {
+		f.Close()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, "usage: hpdc21 [flags] <experiment>...|all\n\nexperiments:\n")
+	for _, e := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-6s %s\n", e.name, e.title)
+	}
+	fmt.Fprintf(os.Stderr, "\nflags:\n")
+	flag.PrintDefaults()
+}
+
+func banner(title string) {
+	fmt.Fprintln(out)
+	fmt.Fprintln(out, title)
+	fmt.Fprintln(out, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,165 @@
+package main
+
+import (
+	"fmt"
+
+	"oversub"
+)
+
+// fig13 reproduces Figure 13: the ten spinlocks under the pipeline
+// micro-benchmark, in containers (no hardware spin detection exists) and
+// in KVM VMs (where PLE is available but only sees PAUSE loops).
+func fig13(o options) {
+	fmt.Fprintln(out, "(a) container (execution time, ms)")
+	fmt.Fprintf(out, "%-12s %12s %12s %14s\n", "lock", "8T(van)", "32T(van)", "32T(optimized)")
+	for _, kind := range oversub.SpinLockKinds() {
+		base := oversub.SpinPipeline(kind, 8, 8, oversub.DetectOff, false, o.seed)
+		van := oversub.SpinPipeline(kind, 32, 8, oversub.DetectOff, false, o.seed)
+		opt := oversub.SpinPipeline(kind, 32, 8, oversub.DetectBWD, false, o.seed)
+		fmt.Fprintf(out, "%-12s %12.1f %12.1f %14.1f\n", kind,
+			base.ExecTime.Millis(), van.ExecTime.Millis(), opt.ExecTime.Millis())
+	}
+
+	fmt.Fprintln(out, "\n(b) KVM (execution time, ms)")
+	fmt.Fprintf(out, "%-12s %12s %12s %12s %14s\n", "lock", "8T(van)", "32T(van)", "32T(PLE)", "32T(optimized)")
+	for _, kind := range oversub.SpinLockKinds() {
+		base := oversub.SpinPipeline(kind, 8, 8, oversub.DetectOff, true, o.seed)
+		van := oversub.SpinPipeline(kind, 32, 8, oversub.DetectOff, true, o.seed)
+		ple := oversub.SpinPipeline(kind, 32, 8, oversub.DetectPLE, true, o.seed)
+		opt := oversub.SpinPipeline(kind, 32, 8, oversub.DetectBWD, true, o.seed)
+		fmt.Fprintf(out, "%-12s %12.1f %12.1f %12.1f %14.1f\n", kind,
+			base.ExecTime.Millis(), van.ExecTime.Millis(),
+			ple.ExecTime.Millis(), opt.ExecTime.Millis())
+	}
+	fmt.Fprintln(out, "\n(paper: BWD restores 32T near the 8T baseline for every algorithm;")
+	fmt.Fprintln(out, " PLE tracks vanilla — it cannot see loops without PAUSE)")
+}
+
+// fig14 reproduces Figure 14: user-customized spinning in lu (NPB) and
+// volrend (SPLASH-2), 8-32 threads on 8 cores, container and VM.
+func fig14(o options) {
+	scale := o.scale
+	if o.quick {
+		scale *= 0.3
+	}
+	for _, name := range []string{"lu", "volrend"} {
+		spec := oversub.FindBenchmark(name)
+		for _, env := range []struct {
+			label string
+			vm    bool
+		}{{"container", false}, {"VM", true}} {
+			fmt.Fprintf(out, "\n-- %s, %s (execution time, ms) --\n", name, env.label)
+			if env.vm {
+				fmt.Fprintf(out, "%-8s %12s %12s %12s\n", "threads", "vanilla", "PLE", "optimized")
+			} else {
+				fmt.Fprintf(out, "%-8s %12s %12s %12s\n", "threads", "vanilla", "PLE", "optimized")
+			}
+			for _, threads := range []int{8, 16, 32} {
+				feat := oversub.Features{VM: env.vm}
+				van := oversub.RunBenchmark(spec, oversub.BenchConfig{
+					Threads: threads, Cores: 8, Seed: o.seed, WorkScale: scale, Feat: feat,
+				})
+				pleStr := "n/a"
+				if env.vm {
+					ple := oversub.RunBenchmark(spec, oversub.BenchConfig{
+						Threads: threads, Cores: 8, Seed: o.seed, WorkScale: scale, Feat: feat,
+						Detect: oversub.DetectPLE,
+					})
+					pleStr = fmt.Sprintf("%.1f", ple.ExecTime.Millis())
+				}
+				opt := oversub.RunBenchmark(spec, oversub.BenchConfig{
+					Threads: threads, Cores: 8, Seed: o.seed, WorkScale: scale, Feat: feat,
+					Detect: oversub.DetectBWD,
+				})
+				fmt.Fprintf(out, "%-8d %12.1f %12s %12.1f\n", threads,
+					van.ExecTime.Millis(), pleStr, opt.ExecTime.Millis())
+			}
+		}
+	}
+	fmt.Fprintln(out, "\n(paper: vanilla collapses up to ~25x at 32T; BWD brings performance")
+	fmt.Fprintln(out, " near the undersubscribed level; PLE is blind to these plain test loops)")
+}
+
+// tab2 reproduces Table 2: BWD's true-positive rate per spinlock.
+func tab2(o options) {
+	tries := 4000
+	if o.quick {
+		tries = 800
+	}
+	fmt.Fprintf(out, "%-12s %12s %12s %14s\n", "spinlock", "#tries", "#TPs", "sensitivity(%)")
+	for _, kind := range oversub.SpinLockKinds() {
+		r := oversub.Sensitivity(kind, tries, o.seed)
+		fmt.Fprintf(out, "%-12s %12d %12d %14.2f\n",
+			kind, r.Tries, r.TruePos, 100*r.Sensitivity)
+	}
+	fmt.Fprintln(out, "\n(paper: 99.76-99.90% across all ten algorithms)")
+}
+
+// tab3 reproduces Table 3: BWD's false-positive rate and overhead on eight
+// blocking NPB benchmarks that contain no spinning.
+func tab3(o options) {
+	scale := o.scale
+	if o.quick {
+		scale *= 0.3
+	}
+	names := []string{"is", "ep", "cg", "mg", "ft", "sp", "bt", "ua"}
+	fmt.Fprintf(out, "%-6s %12s %10s %15s %15s\n",
+		"app", "#windows", "#FPs", "specificity(%)", "FP overhead(%)")
+	for _, name := range names {
+		spec := oversub.FindBenchmark(name)
+		off := oversub.RunBenchmark(spec, oversub.BenchConfig{
+			Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
+		})
+		on := oversub.RunBenchmark(spec, oversub.BenchConfig{
+			Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
+			Detect: oversub.DetectBWD,
+		})
+		spec99 := 100.0
+		if on.BWD.Windows > 0 {
+			spec99 = 100 * (1 - float64(on.BWD.FalsePositive)/float64(on.BWD.Windows))
+		}
+		overhead := 100 * (float64(on.ExecTime)/float64(off.ExecTime) - 1)
+		if overhead < 0 {
+			overhead = 0
+		}
+		fmt.Fprintf(out, "%-6s %12d %10d %15.2f %15.2f\n",
+			name, on.BWD.Windows, on.BWD.FalsePositive, spec99, overhead)
+	}
+	fmt.Fprintln(out, "\n(paper: specificity 99.38-99.99%, FP overhead at most ~1%)")
+}
+
+// fig15 reproduces Figure 15: pthread vs Mutexee vs MCS-TP vs SHFLLOCK vs
+// the paper's mechanisms, 32 threads on 8 cores, normalized to 8T vanilla.
+func fig15(o options) {
+	scale := o.scale
+	if o.quick {
+		scale *= 0.3
+	}
+	names := []string{"freqmine", "streamcluster", "lu_cb", "ocean", "radix"}
+	impls := []string{"pthread", "mutexee", "mcstp", "shfllock"}
+	fmt.Fprintf(out, "%-14s", "benchmark")
+	for _, impl := range impls {
+		fmt.Fprintf(out, " %10s", impl)
+	}
+	fmt.Fprintf(out, " %10s\n", "optimized")
+	for _, name := range names {
+		spec := oversub.FindBenchmark(name)
+		base := oversub.RunBenchmark(spec, oversub.BenchConfig{
+			Threads: 8, Cores: 8, Seed: o.seed, WorkScale: scale,
+		})
+		fmt.Fprintf(out, "%-14s", name)
+		for _, impl := range impls {
+			r := oversub.RunBenchmark(spec, oversub.BenchConfig{
+				Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale, LockImpl: impl,
+			})
+			fmt.Fprintf(out, " %10.2f", float64(r.ExecTime)/float64(base.ExecTime))
+		}
+		opt := oversub.RunBenchmark(spec, oversub.BenchConfig{
+			Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
+			Feat: oversub.Features{VB: true}, Detect: oversub.DetectBWD,
+		})
+		fmt.Fprintf(out, " %10.2f\n", float64(opt.ExecTime)/float64(base.ExecTime))
+	}
+	fmt.Fprintln(out, "\n(paper: spin-then-park algorithms still collapse under oversubscription;")
+	fmt.Fprintln(out, " VB+BWD are up to 5.4x more efficient and need no code changes)")
+}

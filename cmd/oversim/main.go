@@ -1,0 +1,148 @@
+// Command oversim runs a single suite benchmark (or the memcached model)
+// under a chosen kernel configuration and prints the measurements.
+//
+// Examples:
+//
+//	oversim -bench streamcluster -threads 32 -cores 8
+//	oversim -bench streamcluster -threads 32 -cores 8 -vb -bwd
+//	oversim -bench lu -threads 32 -cores 8 -ple -vm
+//	oversim -bench memcached -threads 16 -cores 4 -vb
+//	oversim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"oversub"
+	"oversub/internal/sweep"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark name (see -list), or 'memcached'")
+		list    = flag.Bool("list", false, "list available benchmarks")
+		threads = flag.Int("threads", 0, "thread count (0 = benchmark's optimal)")
+		cores   = flag.Int("cores", 8, "physical cores in the cpuset")
+		smt     = flag.Int("smt", 1, "hyper-threads per core")
+		vb      = flag.Bool("vb", false, "enable virtual blocking")
+		bwd     = flag.Bool("bwd", false, "enable busy-waiting detection")
+		ple     = flag.Bool("ple", false, "enable pause-loop exiting (needs -vm)")
+		vm      = flag.Bool("vm", false, "run inside a virtual machine")
+		pinned  = flag.Bool("pinned", false, "pin threads to cores")
+		lockImp = flag.String("locks", "", "lock library: pthread|mutexee|mcstp|shfllock")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		scale   = flag.Float64("scale", 1.0, "work scale")
+		growTo  = flag.Int("grow", 0, "resize the cpuset to this many cores at t=2ms")
+		traceTo = flag.String("trace", "", "write the scheduling event trace to this file")
+		doSweep = flag.Bool("sweep", false, "sweep threads x cores x kernel variants and print a table")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-14s %-8s %-8s %8s %7s\n", "name", "suite", "sync", "work", "rounds")
+		for _, s := range oversub.Benchmarks() {
+			fmt.Printf("%-14s %-8s %-8s %8v %7d\n", s.Name, s.Suite, s.Sync, s.TotalWork, s.Rounds)
+		}
+		fmt.Println("memcached      (service benchmark; -threads selects workers)")
+		return
+	}
+	if *bench == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	detect := oversub.DetectOff
+	if *bwd {
+		detect = oversub.DetectBWD
+	} else if *ple {
+		detect = oversub.DetectPLE
+	}
+	feat := oversub.Features{VB: *vb, Pinned: *pinned, VM: *vm}
+
+	if *bench == "memcached" {
+		workers := *threads
+		if workers == 0 {
+			workers = 4
+		}
+		r := oversub.RunMemcached(oversub.MemcachedConfig{
+			Workers: workers, Cores: *cores, VB: *vb, Seed: *seed,
+		})
+		fmt.Printf("memcached: workers=%d cores=%d vb=%v\n", workers, *cores, *vb)
+		fmt.Printf("  throughput   %12.0f ops/s\n", r.ThroughputOpsSec)
+		fmt.Printf("  latency mean %12.1f us\n", r.Mean.Micros())
+		fmt.Printf("  latency p95  %12.1f us\n", r.P95.Micros())
+		fmt.Printf("  latency p99  %12.1f us\n", r.P99.Micros())
+		return
+	}
+
+	spec := oversub.FindBenchmark(*bench)
+	if spec == nil {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (try -list)\n", *bench)
+		os.Exit(2)
+	}
+	if *doSweep {
+		g := sweep.Run(sweep.Config{
+			Spec:     spec,
+			Threads:  []int{8, 16, 32},
+			Cores:    []int{2, 4, 8, 16, 32},
+			Variants: sweep.StandardVariants(),
+			Seed:     *seed,
+			Scale:    *scale,
+			Horizon:  oversub.Duration(10 * oversub.Second),
+		})
+		fmt.Printf("%s: execution time (ms) across the grid\n", spec.Name)
+		if err := g.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	cfg := oversub.BenchConfig{
+		Threads: *threads, Cores: *cores, SMT: *smt,
+		Feat: feat, Detect: detect, Seed: *seed, WorkScale: *scale,
+		LockImpl: *lockImp,
+	}
+	var ring *oversub.TraceRing
+	if *traceTo != "" {
+		ring = oversub.NewTraceRing(1 << 20)
+		cfg.Tracer = ring
+	}
+	if *growTo > 0 {
+		cfg.Plan = []oversub.CPUChange{{At: 2 * oversub.Millisecond, Cores: *growTo}}
+	}
+	r := oversub.RunBenchmark(spec, cfg)
+	if r.Err != nil {
+		fmt.Fprintf(os.Stderr, "run did not complete: %v\n", r.Err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: threads=%d cores=%d smt=%d vb=%v detect=%v pinned=%v\n",
+		spec.Name, r.Threads, r.Cores, *smt, *vb, detect, *pinned)
+	fmt.Printf("  exec time       %12v\n", r.ExecTime)
+	fmt.Printf("  cpu utilization %11.0f%% (of %d00%%)\n", r.UtilPct, r.Cores**smt)
+	fmt.Printf("  sync operations %12d\n", r.SyncOps)
+	fmt.Printf("  ctx switches    %12d voluntary, %d involuntary\n",
+		r.Metrics.VolCS, r.Metrics.InvolCS)
+	fmt.Printf("  migrations      %12d in-node, %d cross-node\n",
+		r.Metrics.MigrationsInNode, r.Metrics.MigrationsCrossNode)
+	fmt.Printf("  futex           %12d waits, %d wakes, %d VB wakes\n",
+		r.Metrics.FutexWaits, r.Metrics.FutexWakes, r.Metrics.VBWakes)
+	if detect != oversub.DetectOff {
+		fmt.Printf("  detector        %12d windows, %d detections (%d TP, %d FP)\n",
+			r.BWD.Windows, r.BWD.Detections, r.BWD.TruePositive, r.BWD.FalsePositive)
+	}
+	if ring != nil {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if _, err := ring.WriteTo(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  trace           %12d events -> %s\n", ring.Len(), *traceTo)
+	}
+}

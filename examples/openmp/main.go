@@ -1,0 +1,61 @@
+// OpenMP: an NPB-style iterative solver written against the omp runtime —
+// a persistent worker team that sleeps between parallel regions. Region
+// boundaries are broadcast wakeups, so an oversubscribed team exercises
+// the exact futex path virtual blocking repairs.
+//
+// Run with: go run ./examples/openmp
+package main
+
+import (
+	"fmt"
+
+	"oversub"
+)
+
+const (
+	teamSize = 32
+	cores    = 4
+	sweeps   = 60
+	rows     = 512
+)
+
+func run(vb bool, schedule oversub.OMPSchedule) oversub.Duration {
+	sys := oversub.NewSystem(oversub.SystemConfig{
+		Cores:    cores,
+		Features: oversub.Features{VB: vb},
+		Seed:     5,
+	})
+	sys.Spawn("master", func(t *oversub.Thread) {
+		team := sys.NewOMPTeam(teamSize)
+		for s := 0; s < sweeps; s++ {
+			// One relaxation sweep: each row costs a row-dependent amount,
+			// like a banded matrix.
+			team.ParallelFor(t, 0, rows, 8, schedule,
+				func(t *oversub.Thread, worker, row int) {
+					cost := 8 + row%9
+					t.Run(oversub.Duration(cost) * oversub.Microsecond)
+				})
+		}
+		team.Shutdown(t)
+	})
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	return oversub.Duration(sys.Now())
+}
+
+func main() {
+	fmt.Printf("NPB-style solver: %d-thread OpenMP team on %d cores, %d sweeps\n\n",
+		teamSize, cores, sweeps)
+	for _, s := range []oversub.OMPSchedule{oversub.OMPStatic, oversub.OMPDynamic, oversub.OMPGuided} {
+		van := run(false, s)
+		vb := run(true, s)
+		fmt.Printf("schedule(%-7v)  vanilla %10v   virtual-blocking %10v   speedup %.2fx\n",
+			s, van, vb, float64(van)/float64(vb))
+	}
+	fmt.Println("\nEvery region start broadcasts to the parked team and every region")
+	fmt.Println("end converges on a barrier; with 8x oversubscription, VB turns those")
+	fmt.Println("sleep/wakeup storms into flag flips. Static scheduling benefits most:")
+	fmt.Println("dynamic work-stealing drains the region before slow-waking workers")
+	fmt.Println("arrive, so its critical path is the barrier either way.")
+}

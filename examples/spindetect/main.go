@@ -1,0 +1,86 @@
+// Spindetect: a hand-rolled busy-wait pipeline (the lu/volrend pattern the
+// paper calls "user-customized spinning"), oversubscribed 4:1, with and
+// without busy-waiting detection. BWD reads only the simulated LBR and
+// PMCs — no application knowledge — yet deschedules exactly the spinners.
+//
+// Run with: go run ./examples/spindetect
+package main
+
+import (
+	"fmt"
+
+	"oversub"
+)
+
+const (
+	threads = 16
+	cores   = 4
+	laps    = 60
+	chunk   = 50 * oversub.Microsecond
+)
+
+// pipeline builds a wavefront ring: thread i's lap L starts only after
+// thread i-1 finished lap L, and a thread may run at most one lap ahead of
+// its successor (a bounded blocking factor, as in lu's 2D wavefront). The
+// waits are plain flag-test loops — the kind neither Intel PLE nor AMD PF
+// can see.
+func pipeline(sys *oversub.System) {
+	flags := make([]*oversub.Word, threads)
+	for i := range flags {
+		flags[i] = sys.NewWord(0)
+	}
+	for i := 0; i < threads; i++ {
+		i := i
+		sig := oversub.NewSpinSig(0x100000+uint64(i)*0x40, 4, false)
+		prev := flags[(i+threads-1)%threads]
+		next := flags[(i+1)%threads]
+		sys.Spawn(fmt.Sprintf("stage-%d", i), func(t *oversub.Thread) {
+			for lap := uint64(1); lap <= laps; lap++ {
+				lap := lap
+				if i > 0 {
+					t.SpinUntil(func() bool { return prev.Load() >= lap }, sig)
+				}
+				if lap > 1 && i < threads-1 {
+					t.SpinUntil(func() bool { return next.Load() >= lap-1 }, sig)
+				}
+				t.Run(chunk)
+				flags[i].Store(lap)
+			}
+		})
+	}
+}
+
+func run(detect oversub.DetectMode) (oversub.Duration, oversub.DetectorStats) {
+	sys := oversub.NewSystem(oversub.SystemConfig{
+		Cores:  cores,
+		Detect: detect,
+		Seed:   7,
+	})
+	pipeline(sys)
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+	var stats oversub.DetectorStats
+	if sys.Detector() != nil {
+		stats = sys.Detector().Stats
+	}
+	return oversub.Duration(sys.Now()), stats
+}
+
+func main() {
+	fmt.Printf("%d pipeline stages on %d cores, %d laps of %v each\n\n",
+		threads, cores, laps, chunk)
+
+	vanilla, _ := run(oversub.DetectOff)
+	bwd, stats := run(oversub.DetectBWD)
+
+	fmt.Printf("vanilla:            %v (spinners burn whole time slices)\n", vanilla)
+	fmt.Printf("busy-wait detection: %v\n\n", bwd)
+	fmt.Printf("BWD gain: %.1fx\n\n", float64(vanilla)/float64(bwd))
+	fmt.Printf("detector windows:    %d\n", stats.Windows)
+	fmt.Printf("detections:          %d (%d true, %d false)\n",
+		stats.Detections, stats.TruePositive, stats.FalsePositive)
+	fmt.Println("\nEvery detection came from three architectural observables: a full")
+	fmt.Println("16-entry LBR of one identical backward branch, zero L1d misses, and")
+	fmt.Println("zero dTLB misses in the 100us window.")
+}

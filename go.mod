@@ -1,0 +1,3 @@
+module oversub
+
+go 1.22

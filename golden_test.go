@@ -1,0 +1,73 @@
+package oversub
+
+// Golden determinism guard: a fixed-seed full-stack scenario must produce
+// the exact same scheduling-event profile forever. Any accidental source
+// of nondeterminism (map iteration, wall-clock leakage, unordered event
+// ties) shows up here as a diff long before it corrupts an experiment.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// goldenScenario exercises threads, locks, VB, BWD, epoll, and elasticity
+// in one deterministic run and returns a digest of its event stream.
+func goldenScenario() (string, Metrics) {
+	sys := NewSystem(SystemConfig{
+		Cores: 4, MaxCores: 8,
+		Features: Features{VB: true},
+		Detect:   DetectBWD,
+		Seed:     424242,
+	})
+	ring := sys.Trace(1 << 16)
+	bar := sys.NewBarrier(12)
+	mu := sys.NewMutex()
+	poll := sys.NewPoll()
+	flag := sys.NewWord(0)
+	sig := NewSpinSig(0x4400, 4, false)
+
+	for i := 0; i < 12; i++ {
+		i := i
+		sys.Spawn(fmt.Sprintf("g%d", i), func(t *Thread) {
+			for r := 0; r < 8; r++ {
+				t.Run(Duration(50+13*i) * Microsecond)
+				mu.Lock(t)
+				t.Run(3 * Microsecond)
+				mu.Unlock(t)
+				bar.Await(t)
+			}
+			if i == 0 {
+				t.SpinUntil(func() bool { return flag.Load() == 1 }, sig)
+				poll.Post("done")
+			} else if i == 1 {
+				if poll.Wait(t) != "done" {
+					panic("wrong event")
+				}
+			}
+		})
+	}
+	sys.Engine().After(2*Millisecond, func() { sys.SetCores(8) })
+	sys.Engine().After(4*Millisecond, func() { flag.Store(1) })
+	if err := sys.Run(); err != nil {
+		panic(err)
+	}
+
+	h := fnv.New64a()
+	for _, ev := range ring.Events() {
+		fmt.Fprintf(h, "%d|%d|%d|%s|%d\n", ev.At, ev.CPU, ev.Thread, ev.Kind, ev.Arg)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), sys.Metrics()
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	d1, m1 := goldenScenario()
+	d2, m2 := goldenScenario()
+	if d1 != d2 {
+		t.Fatalf("event digests differ across identical runs: %s vs %s", d1, d2)
+	}
+	if m1 != m2 {
+		t.Fatalf("metrics differ across identical runs: %+v vs %+v", m1, m2)
+	}
+	t.Logf("golden digest %s (%d events)", d1, m1.VolCS+m1.InvolCS)
+}

@@ -1,0 +1,217 @@
+package bwd
+
+import (
+	"testing"
+
+	"oversub/internal/hw"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+func testKernel(t *testing.T, ncpu int, feat sched.Features) *sched.Kernel {
+	t.Helper()
+	eng := sim.NewEngine(99)
+	return sched.New(eng, sched.Config{
+		Topo:  hw.Topology{Sockets: 1, CoresPerSocket: ncpu, ThreadsPerCore: 1},
+		NCPUs: ncpu,
+		Costs: sched.DefaultCosts(),
+		Feat:  feat,
+		Seed:  5,
+	})
+}
+
+// spinWorkload puts a spinner and a worker on one core; the worker makes
+// progress and eventually releases the spinner's flag.
+func spinWorkload(k *sched.Kernel, pause bool, workMS int) (spinner *sched.Thread) {
+	flag := k.NewWord(0)
+	sig := hw.NewSpinSig(0x9000, 4, pause)
+	spinner = k.Spawn("spinner", func(t *sched.Thread) {
+		t.SpinUntil(func() bool { return flag.Load() == 1 }, sig)
+	})
+	k.Spawn("worker", func(t *sched.Thread) {
+		t.Run(sim.Duration(workMS) * sim.Millisecond)
+		flag.Store(1)
+	})
+	return spinner
+}
+
+func TestBWDDetectsSpin(t *testing.T) {
+	k := testKernel(t, 1, sched.Features{})
+	spinner := spinWorkload(k, false, 10)
+	d := New(k, Config{Mode: ModeBWD})
+	d.Start()
+	if err := k.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Detections == 0 {
+		t.Fatal("BWD never detected spinning")
+	}
+	if d.Stats.TruePositive == 0 {
+		t.Error("no detections classified as true positive")
+	}
+	if spinner.BWDHits == 0 {
+		t.Error("spinner never descheduled by BWD")
+	}
+	// Spin suppression: the 10ms of useful work should finish near 10ms
+	// instead of ~20ms.
+	if end := k.Now(); end > sim.Time(13*sim.Millisecond) {
+		t.Errorf("makespan %v, want ~10ms with BWD", end)
+	}
+}
+
+func TestBWDDoesNotFlagCompute(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	for i := 0; i < 4; i++ {
+		k.Spawn("compute", func(t *sched.Thread) {
+			for j := 0; j < 40; j++ {
+				t.Run(500 * sim.Microsecond)
+			}
+		})
+	}
+	d := New(k, Config{Mode: ModeBWD})
+	d.Start()
+	if err := k.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Detections != 0 {
+		t.Errorf("BWD flagged %d windows of ordinary compute (FP=%d)",
+			d.Stats.Detections, d.Stats.FalsePositive)
+	}
+}
+
+func TestBWDFlagsTightLoopsAsFalsePositives(t *testing.T) {
+	k := testKernel(t, 1, sched.Features{})
+	k.Spawn("tight", func(t *sched.Thread) {
+		for j := 0; j < 10; j++ {
+			t.Run(400 * sim.Microsecond)
+			t.RunTight(300*sim.Microsecond, 3) // miss-free repeating loop
+		}
+	})
+	// A second thread so a deschedule is even possible.
+	k.Spawn("other", func(t *sched.Thread) { t.Run(5 * sim.Millisecond) })
+	d := New(k, Config{Mode: ModeBWD})
+	d.Start()
+	if err := k.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.FalsePositive == 0 {
+		t.Error("architecturally spin-like tight loops should produce false positives")
+	}
+	if d.Stats.TruePositive != 0 {
+		t.Errorf("TruePositive = %d in a spin-free workload", d.Stats.TruePositive)
+	}
+}
+
+func TestBWDHighSensitivityOnContinuousSpin(t *testing.T) {
+	k := testKernel(t, 1, sched.Features{})
+	spinWorkload(k, false, 50)
+	d := New(k, Config{Mode: ModeBWD})
+	d.Start()
+	if err := k.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if p := d.Stats.Precision(); p < 0.99 {
+		t.Errorf("precision = %.4f, want ~1.0 on a pure spin workload", p)
+	}
+}
+
+func TestPLEOnlySeesPauseLoopsInVM(t *testing.T) {
+	// PAUSE-based spin in a VM: PLE detects.
+	k := testKernel(t, 1, sched.Features{VM: true})
+	spinWorkload(k, true, 10)
+	d := New(k, Config{Mode: ModePLE})
+	d.Start()
+	if err := k.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats.Detections == 0 {
+		t.Error("PLE should detect PAUSE loops in a VM")
+	}
+
+	// Plain test-loop spin in a VM: PLE is blind (the lu/volrend case).
+	k2 := testKernel(t, 1, sched.Features{VM: true})
+	spinWorkload(k2, false, 10)
+	d2 := New(k2, Config{Mode: ModePLE})
+	d2.Start()
+	if err := k2.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Stats.Detections != 0 {
+		t.Errorf("PLE detected %d windows of a PAUSE-free spin", d2.Stats.Detections)
+	}
+
+	// PAUSE loop outside a VM (container): PLE inapplicable.
+	k3 := testKernel(t, 1, sched.Features{})
+	spinWorkload(k3, true, 10)
+	d3 := New(k3, Config{Mode: ModePLE})
+	d3.Start()
+	if err := k3.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if d3.Stats.Detections != 0 {
+		t.Errorf("PLE fired %d times outside a VM", d3.Stats.Detections)
+	}
+}
+
+func TestBWDWorksRegardlessOfPause(t *testing.T) {
+	// BWD is software-based: it sees both PAUSE and plain spin loops, in
+	// containers and VMs alike.
+	for _, pause := range []bool{true, false} {
+		k := testKernel(t, 1, sched.Features{})
+		spinWorkload(k, pause, 10)
+		d := New(k, Config{Mode: ModeBWD})
+		d.Start()
+		if err := k.RunToCompletion(sim.Time(sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if d.Stats.Detections == 0 {
+			t.Errorf("BWD missed spin loop with pause=%v", pause)
+		}
+	}
+}
+
+func TestSkipFlagLetsOthersRunFirst(t *testing.T) {
+	// One spinner, three workers on one core: with BWD the workers' total
+	// work (30ms) should dominate the makespan rather than being halved by
+	// the spinner's slices.
+	k := testKernel(t, 1, sched.Features{})
+	flag := k.NewWord(0)
+	sig := hw.NewSpinSig(0xa000, 4, false)
+	k.Spawn("spinner", func(t *sched.Thread) {
+		t.SpinUntil(func() bool { return flag.Load() == 1 }, sig)
+	})
+	remaining := 3
+	for i := 0; i < 3; i++ {
+		k.Spawn("worker", func(t *sched.Thread) {
+			t.Run(10 * sim.Millisecond)
+			remaining--
+			if remaining == 0 {
+				flag.Store(1)
+			}
+		})
+	}
+	d := New(k, Config{Mode: ModeBWD})
+	d.Start()
+	if err := k.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if end := k.Now(); end > sim.Time(34*sim.Millisecond) {
+		t.Errorf("makespan %v, want ~30ms with spin suppressed", end)
+	}
+}
+
+func TestDetectorStop(t *testing.T) {
+	k := testKernel(t, 1, sched.Features{})
+	spinWorkload(k, false, 30)
+	d := New(k, Config{Mode: ModeBWD})
+	d.Start()
+	k.Engine().After(5*sim.Millisecond, func() { d.Stop() })
+	if err := k.RunToCompletion(sim.Time(sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// After Stop, detection ceases; the spinner burns CPU again, so the
+	// makespan is near the vanilla ~60ms, not the suppressed ~30ms.
+	if end := k.Now(); end < sim.Time(45*sim.Millisecond) {
+		t.Errorf("makespan %v; detector kept running after Stop", end)
+	}
+}

@@ -1,0 +1,112 @@
+// Package epoll models event-based asynchronous I/O blocking — the other
+// blocking mechanism the paper integrates virtual blocking into (§4.2,
+// memcached). A thread calling Wait sleeps until an event is posted; events
+// arrive either from interrupt context (network receive) or from another
+// thread.
+//
+// Under vanilla semantics a blocked waiter takes the full sleep/wakeup path
+// through the scheduler. With virtual blocking the waiter stays on its
+// runqueue with thread_state set, and a post merely clears the flag.
+package epoll
+
+import (
+	"oversub/internal/sched"
+)
+
+// Event is an opaque payload delivered by Post.
+type Event any
+
+// Poll is one epoll instance: a queue of ready events and a FIFO of
+// blocked waiters.
+type Poll struct {
+	k       *sched.Kernel
+	ready   []Event
+	waiters []*waiter
+}
+
+type waiter struct {
+	t     *sched.Thread
+	vb    bool
+	woken bool
+	// done is set when the waiter's Wait returns; a deferred wakeup
+	// delivery (PostFrom pays thread-context costs) must be dropped then,
+	// or it would spuriously wake the thread's next sleep.
+	done bool
+}
+
+// New creates an epoll instance on kernel k.
+func New(k *sched.Kernel) *Poll {
+	return &Poll{k: k}
+}
+
+// Ready returns the number of queued, undelivered events.
+func (p *Poll) Ready() int { return len(p.ready) }
+
+// WaitersCount returns the number of threads blocked in Wait.
+func (p *Poll) WaitersCount() int { return len(p.waiters) }
+
+// Wait blocks t until an event is available and returns it. If an event is
+// already queued it is consumed immediately, paying only the syscall entry.
+func (p *Poll) Wait(t *sched.Thread) Event {
+	costs := p.k.Costs()
+	t.Run(costs.SyscallEntry)
+	p.k.Metrics.EpollWaits++
+	for len(p.ready) == 0 {
+		w := &waiter{t: t, vb: p.k.Features().VB}
+		p.waiters = append(p.waiters, w)
+		if w.vb {
+			if !w.woken {
+				t.VBlock()
+			}
+		} else {
+			t.Run(costs.SleepDequeue)
+			if !w.woken {
+				t.Block()
+			}
+		}
+		w.done = true
+		// Woken: either an event is ready or we raced with another waiter
+		// that consumed it; loop and re-block in that case.
+	}
+	ev := p.ready[0]
+	p.ready = p.ready[1:]
+	return ev
+}
+
+// Post delivers an event from interrupt context (e.g. a NIC receive): the
+// wakeup cost lands on the target CPU as kernel overhead.
+func (p *Poll) Post(ev Event) {
+	p.ready = append(p.ready, ev)
+	p.k.Metrics.EpollPosts++
+	if w := p.popWaiter(); w != nil {
+		if w.vb {
+			p.k.VWake(nil, w.t)
+		} else {
+			p.k.WakeIRQ(w.t)
+		}
+	}
+}
+
+// PostFrom delivers an event from thread context: waker pays the wakeup
+// path, as in futex_wake.
+func (p *Poll) PostFrom(waker *sched.Thread, ev Event) {
+	p.ready = append(p.ready, ev)
+	p.k.Metrics.EpollPosts++
+	if w := p.popWaiter(); w != nil && !w.done {
+		if w.vb {
+			p.k.VWake(waker, w.t)
+		} else {
+			p.k.WakeVanilla(waker, w.t)
+		}
+	}
+}
+
+func (p *Poll) popWaiter() *waiter {
+	if len(p.waiters) == 0 {
+		return nil
+	}
+	w := p.waiters[0]
+	p.waiters = p.waiters[1:]
+	w.woken = true
+	return w
+}

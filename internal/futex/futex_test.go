@@ -1,0 +1,324 @@
+package futex
+
+import (
+	"testing"
+
+	"oversub/internal/hw"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+func testKernel(t *testing.T, ncpu int, feat sched.Features) *sched.Kernel {
+	t.Helper()
+	eng := sim.NewEngine(42)
+	return sched.New(eng, sched.Config{
+		Topo:  hw.Topology{Sockets: 1, CoresPerSocket: ncpu, ThreadsPerCore: 1},
+		NCPUs: ncpu,
+		Costs: sched.DefaultCosts(),
+		Feat:  feat,
+		Seed:  7,
+	})
+}
+
+func mustComplete(t *testing.T, k *sched.Kernel, horizon sim.Time) {
+	t.Helper()
+	if err := k.RunToCompletion(horizon); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitValueMismatchReturnsImmediately(t *testing.T) {
+	k := testKernel(t, 1, sched.Features{})
+	tbl := NewTable(k, 0)
+	f := tbl.NewFutex(5)
+	var slept bool
+	k.Spawn("w", func(th *sched.Thread) {
+		slept = f.Wait(th, 7) // value is 5, expected 7 -> EAGAIN
+	})
+	mustComplete(t, k, 0)
+	if slept {
+		t.Error("Wait with mismatched value should not sleep")
+	}
+}
+
+func TestWaitWakeRoundTrip(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := NewTable(k, 0)
+	f := tbl.NewFutex(0)
+	var order []string
+	k.Spawn("waiter", func(th *sched.Thread) {
+		if !f.Wait(th, 0) {
+			panic("wait should have slept")
+		}
+		order = append(order, "woke")
+	})
+	k.Spawn("waker", func(th *sched.Thread) {
+		th.Run(2 * sim.Millisecond)
+		f.Word.Store(1)
+		order = append(order, "wake")
+		f.Wake(th, 1)
+	})
+	mustComplete(t, k, 0)
+	if len(order) != 2 || order[0] != "wake" || order[1] != "woke" {
+		t.Errorf("order = %v, want [wake woke]", order)
+	}
+	if k.Metrics.FutexWaits != 1 || k.Metrics.FutexWakes != 1 {
+		t.Errorf("metrics = %+v, want 1 wait / 1 wake", k.Metrics)
+	}
+}
+
+func TestWakeFIFOOrder(t *testing.T) {
+	k := testKernel(t, 1, sched.Features{})
+	tbl := NewTable(k, 0)
+	f := tbl.NewFutex(0)
+	var woke []int
+	for i := 0; i < 4; i++ {
+		i := i
+		k.Spawn("waiter", func(th *sched.Thread) {
+			th.Run(sim.Duration(i+1) * 100 * sim.Microsecond) // deterministic arrival order
+			f.Wait(th, 0)
+			woke = append(woke, i)
+		})
+	}
+	k.Spawn("waker", func(th *sched.Thread) {
+		th.Run(5 * sim.Millisecond)
+		for j := 0; j < 4; j++ {
+			f.Wake(th, 1)
+			th.Run(3 * sim.Millisecond) // let the woken thread run
+		}
+	})
+	mustComplete(t, k, 0)
+	if len(woke) != 4 {
+		t.Fatalf("woke %d waiters, want 4", len(woke))
+	}
+	for i := 1; i < len(woke); i++ {
+		if woke[i] < woke[i-1] {
+			t.Errorf("wake order not FIFO: %v", woke)
+		}
+	}
+}
+
+func TestWakeAllWakesEveryone(t *testing.T) {
+	k := testKernel(t, 4, sched.Features{})
+	tbl := NewTable(k, 0)
+	f := tbl.NewFutex(0)
+	count := 0
+	for i := 0; i < 8; i++ {
+		k.Spawn("waiter", func(th *sched.Thread) {
+			f.Wait(th, 0)
+			count++
+		})
+	}
+	k.Spawn("waker", func(th *sched.Thread) {
+		th.Run(3 * sim.Millisecond)
+		if n := f.WakeAll(th); n != 8 {
+			panic("WakeAll should report 8")
+		}
+	})
+	mustComplete(t, k, 0)
+	if count != 8 {
+		t.Errorf("%d waiters resumed, want 8", count)
+	}
+}
+
+func TestVBPathUsedUnderOversubscription(t *testing.T) {
+	// 2 cores, 8 waiters, two broadcast rounds. The first round trains the
+	// futex's group-wakeup history (all vanilla); in the second round the
+	// first 2 waits still take the vanilla path (futex shorter than core
+	// count when they arrive) and the rest virtually block.
+	k := testKernel(t, 2, sched.Features{VB: true})
+	tbl := NewTable(k, 1)
+	f := tbl.NewFutex(0)
+	for i := 0; i < 8; i++ {
+		k.Spawn("waiter", func(th *sched.Thread) {
+			f.Wait(th, 0)
+			th.Run(100 * sim.Microsecond)
+			f.Wait(th, 1)
+		})
+	}
+	k.Spawn("waker", func(th *sched.Thread) {
+		th.Run(5 * sim.Millisecond)
+		f.Word.Store(1)
+		f.WakeAll(th) // trains maxBatch; all vanilla
+		th.Run(5 * sim.Millisecond)
+		f.Word.Store(2)
+		f.WakeAll(th) // now the deep waiters took the VB path
+	})
+	mustComplete(t, k, 0)
+	if k.Metrics.VBWakes < 4 {
+		t.Errorf("VBWakes = %d, want most of round 2 on the VB path", k.Metrics.VBWakes)
+	}
+	if k.Metrics.VBWakes > 6 {
+		t.Errorf("VBWakes = %d; the first waiters (< cores) must use vanilla", k.Metrics.VBWakes)
+	}
+}
+
+func TestVBDisabledWhenUndersubscribed(t *testing.T) {
+	k := testKernel(t, 8, sched.Features{VB: true})
+	tbl := NewTable(k, 1)
+	f := tbl.NewFutex(0)
+	for i := 0; i < 4; i++ { // fewer waiters than cores
+		k.Spawn("waiter", func(th *sched.Thread) { f.Wait(th, 0) })
+	}
+	k.Spawn("waker", func(th *sched.Thread) {
+		th.Run(2 * sim.Millisecond)
+		f.WakeAll(th)
+	})
+	mustComplete(t, k, 0)
+	if k.Metrics.VBWakes != 0 {
+		t.Errorf("VBWakes = %d, want 0 when waiters < cores", k.Metrics.VBWakes)
+	}
+}
+
+func TestBroadcastFasterWithVB(t *testing.T) {
+	run := func(vb bool) sim.Time {
+		k := testKernel(t, 1, sched.Features{VB: vb})
+		tbl := NewTable(k, 1)
+		f := tbl.NewFutex(0)
+		const n = 16
+		for i := 0; i < n; i++ {
+			k.Spawn("waiter", func(th *sched.Thread) {
+				for r := 0; r < 20; r++ {
+					f.Wait(th, uint64(r)) // EAGAIN if the round already passed
+					th.Run(20 * sim.Microsecond)
+				}
+			})
+		}
+		k.Spawn("waker", func(th *sched.Thread) {
+			for r := 0; r < 20; r++ {
+				th.Run(500 * sim.Microsecond)
+				f.Word.Store(uint64(r + 1))
+				f.WakeAll(th)
+			}
+		})
+		if err := k.RunToCompletion(sim.Time(10 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now()
+	}
+	vanilla := run(false)
+	vb := run(true)
+	if vb >= vanilla {
+		t.Errorf("VB broadcast (%v) not faster than vanilla (%v)", vb, vanilla)
+	}
+}
+
+func TestSharedBucketKeepsFutexesSeparate(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := NewTable(k, 1) // force both futexes into one bucket
+	f1 := tbl.NewFutex(0)
+	f2 := tbl.NewFutex(0)
+	var woke1, woke2 bool
+	k.Spawn("w1", func(th *sched.Thread) { f1.Wait(th, 0); woke1 = true })
+	k.Spawn("w2", func(th *sched.Thread) { f2.Wait(th, 0); woke2 = true })
+	k.Spawn("waker", func(th *sched.Thread) {
+		th.Run(2 * sim.Millisecond)
+		if n := f1.Wake(th, 10); n != 1 {
+			panic("waking f1 must only wake f1's waiter")
+		}
+		th.Run(2 * sim.Millisecond)
+		f2.Wake(th, 10)
+	})
+	mustComplete(t, k, 0)
+	if !woke1 || !woke2 {
+		t.Errorf("woke1=%v woke2=%v, want both", woke1, woke2)
+	}
+}
+
+func TestWaitersCount(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := NewTable(k, 1)
+	f := tbl.NewFutex(0)
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(th *sched.Thread) { f.Wait(th, 0) })
+	}
+	k.Spawn("check", func(th *sched.Thread) {
+		th.Run(2 * sim.Millisecond)
+		if n := f.Waiters(); n != 3 {
+			panic("want 3 waiters")
+		}
+		f.WakeAll(th)
+	})
+	mustComplete(t, k, 0)
+	if f.Waiters() != 0 {
+		t.Errorf("Waiters = %d after WakeAll, want 0", f.Waiters())
+	}
+}
+
+func TestRequeueTransfersWaiters(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := NewTable(k, 4) // several buckets so src/dst land in different ones
+	src := tbl.NewFutex(0)
+	dst := tbl.NewFutex(0)
+	resumed := 0
+	for i := 0; i < 6; i++ {
+		k.Spawn("w", func(th *sched.Thread) {
+			src.Wait(th, 0)
+			resumed++
+		})
+	}
+	k.Spawn("requeuer", func(th *sched.Thread) {
+		th.Run(3 * sim.Millisecond)
+		woken, moved, ok := src.Requeue(th, 1, 100, dst, nil)
+		if !ok || woken != 1 || moved != 5 {
+			panic("requeue should wake 1 and move 5")
+		}
+		if src.Waiters() != 0 || dst.Waiters() != 5 {
+			panic("waiter bookkeeping wrong after requeue")
+		}
+		// Now release the transferred waiters one at a time.
+		for j := 0; j < 5; j++ {
+			th.Run(time500us())
+			dst.Wake(th, 1)
+		}
+	})
+	mustComplete(t, k, 0)
+	if resumed != 6 {
+		t.Fatalf("resumed = %d, want 6", resumed)
+	}
+}
+
+func time500us() sim.Duration { return 500 * sim.Microsecond }
+
+func TestRequeueCmpMismatch(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := NewTable(k, 1)
+	src := tbl.NewFutex(7)
+	dst := tbl.NewFutex(0)
+	k.Spawn("w", func(th *sched.Thread) { src.Wait(th, 7) })
+	k.Spawn("requeuer", func(th *sched.Thread) {
+		th.Run(2 * sim.Millisecond)
+		expected := uint64(9) // stale expectation
+		if _, _, ok := src.Requeue(th, 1, 100, dst, &expected); ok {
+			panic("requeue with mismatched value must fail")
+		}
+		src.WakeAll(th)
+	})
+	mustComplete(t, k, 0)
+}
+
+func TestRequeueSameBucket(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := NewTable(k, 1) // one bucket: relabel in place
+	src := tbl.NewFutex(0)
+	dst := tbl.NewFutex(0)
+	woke := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("w", func(th *sched.Thread) {
+			src.Wait(th, 0)
+			woke++
+		})
+	}
+	k.Spawn("r", func(th *sched.Thread) {
+		th.Run(2 * sim.Millisecond)
+		_, moved, _ := src.Requeue(th, 0, 100, dst, nil)
+		if moved != 4 {
+			panic("want 4 moved")
+		}
+		dst.WakeAll(th)
+	})
+	mustComplete(t, k, 0)
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+}

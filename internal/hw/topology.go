@@ -1,0 +1,96 @@
+// Package hw models the hardware a simulated kernel runs on: CPU topology
+// (sockets, cores, SMT), cache and TLB geometry, and the per-core
+// architectural observables — last branch records (LBR) and performance
+// monitoring counters (PMC) — that busy-waiting detection consumes.
+//
+// The model exposes the same observables, with the same sizes and update
+// rules, as the Intel Broadwell platform used in the paper (dual 18-core
+// Xeon, 16-entry LBR, 64+1536-entry two-level dTLB, 32 KB L1d).
+package hw
+
+import "fmt"
+
+// Topology describes the CPU layout of a simulated machine.
+type Topology struct {
+	Sockets        int // NUMA nodes
+	CoresPerSocket int // physical cores per socket
+	ThreadsPerCore int // SMT siblings per physical core (1 = HT off)
+}
+
+// PaperTopology is the testbed from the paper: a Dell T630 with two 18-core
+// sockets. Hyper-threading is configured per experiment.
+func PaperTopology(smt int) Topology {
+	return Topology{Sockets: 2, CoresPerSocket: 18, ThreadsPerCore: smt}
+}
+
+// NumCPUs returns the number of logical CPUs.
+func (t Topology) NumCPUs() int {
+	return t.Sockets * t.CoresPerSocket * t.ThreadsPerCore
+}
+
+// Validate reports whether the topology is well-formed.
+func (t Topology) Validate() error {
+	if t.Sockets <= 0 || t.CoresPerSocket <= 0 || t.ThreadsPerCore <= 0 {
+		return fmt.Errorf("hw: invalid topology %+v", t)
+	}
+	return nil
+}
+
+// NodeOf returns the NUMA node of logical CPU id. Logical CPUs are numbered
+// socket-major: all CPUs of socket 0 first.
+func (t Topology) NodeOf(cpu int) int {
+	perSocket := t.CoresPerSocket * t.ThreadsPerCore
+	return cpu / perSocket
+}
+
+// CoreOf returns the physical core index (machine-wide) of logical CPU id.
+// SMT siblings share a physical core: logical CPUs are numbered so that
+// sibling threads of one core are adjacent.
+func (t Topology) CoreOf(cpu int) int {
+	return cpu / t.ThreadsPerCore
+}
+
+// SiblingsOf returns the logical CPU ids sharing a physical core with cpu,
+// including cpu itself.
+func (t Topology) SiblingsOf(cpu int) []int {
+	core := t.CoreOf(cpu)
+	out := make([]int, t.ThreadsPerCore)
+	for i := range out {
+		out[i] = core*t.ThreadsPerCore + i
+	}
+	return out
+}
+
+// SameNode reports whether two logical CPUs are on the same NUMA node.
+func (t Topology) SameNode(a, b int) bool { return t.NodeOf(a) == t.NodeOf(b) }
+
+// CacheGeometry describes the memory hierarchy visible to the cost model and
+// the busy-waiting detector.
+type CacheGeometry struct {
+	LineSize int64 // bytes per cache line
+	L1D      int64 // per-core L1 data cache, bytes
+	L2       int64 // per-core L2, bytes
+	L3       int64 // per-socket shared L3, bytes
+	PageSize int64 // bytes per page
+	TLB1     int64 // first-level dTLB entries
+	TLB2     int64 // second-level dTLB entries
+}
+
+// PaperCaches returns the hierarchy of the paper's Xeon E5-2695 v4 testbed.
+func PaperCaches() CacheGeometry {
+	return CacheGeometry{
+		LineSize: 64,
+		L1D:      32 << 10,
+		L2:       256 << 10,
+		L3:       45 << 20,
+		PageSize: 4 << 10,
+		TLB1:     64,
+		TLB2:     1536,
+	}
+}
+
+// TLB1Reach returns the bytes addressable through the first-level dTLB.
+func (c CacheGeometry) TLB1Reach() int64 { return c.TLB1 * c.PageSize }
+
+// TLB2Reach returns the bytes addressable through the second-level dTLB.
+func (c CacheGeometry) TLB2Reach() int64 { return c.TLB2 * c.PageSize }

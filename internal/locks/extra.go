@@ -1,0 +1,182 @@
+package locks
+
+import (
+	"oversub/internal/futex"
+	"oversub/internal/hw"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+// HCLH is the hierarchical CLH queue lock of Luchangco, Nussbaum, and
+// Shavit (Euro-Par'06), cited by the paper as a spin-then-block
+// predecessor: waiters first enqueue on a per-NUMA-node local queue; local
+// queue masters splice their whole cluster into the global CLH queue, so
+// lock handoffs stay on one socket for stretches and cross the interconnect
+// in batches.
+type HCLH struct {
+	k      *sched.Kernel
+	global *qnode   // global CLH tail
+	local  []*qnode // per-node local tails
+	nodes  map[*sched.Thread]*qnode
+	preds  map[*sched.Thread]*qnode
+	sig    hw.SpinSig
+}
+
+// NewHCLH allocates a hierarchical CLH lock for the kernel's topology.
+func NewHCLH(k *sched.Kernel) *HCLH {
+	dummy := &qnode{locked: k.NewWord(0)}
+	return &HCLH{
+		k:      k,
+		global: dummy,
+		local:  make([]*qnode, k.Topology().Sockets),
+		nodes:  make(map[*sched.Thread]*qnode),
+		preds:  make(map[*sched.Thread]*qnode),
+		sig:    newSig(5, false),
+	}
+}
+
+// Name implements Locker.
+func (l *HCLH) Name() string { return "hclh" }
+
+// Lock implements Locker.
+func (l *HCLH) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	node := l.k.Topology().NodeOf(t.CPU())
+	n := &qnode{locked: l.k.NewWord(1), node: node}
+	l.nodes[t] = n
+
+	// Enqueue on the local (per-socket) queue.
+	prevLocal := l.local[node]
+	l.local[node] = n
+	if prevLocal != nil {
+		// Not the cluster master: spin on the local predecessor.
+		l.preds[t] = prevLocal
+		t.SpinUntil(func() bool { return prevLocal.locked.Load() == 0 }, l.sig)
+		return
+	}
+	// Cluster master: splice the local queue into the global queue. (The
+	// full algorithm splices lazily; we splice immediately, which keeps
+	// the per-socket batching property.)
+	prevGlobal := l.global
+	l.global = n
+	l.local[node] = nil // the cluster is now in the global queue
+	l.preds[t] = prevGlobal
+	if prevGlobal.locked.Load() == 1 {
+		t.SpinUntil(func() bool { return prevGlobal.locked.Load() == 0 }, l.sig)
+	}
+}
+
+// Unlock implements Locker.
+func (l *HCLH) Unlock(t *sched.Thread) {
+	n := l.nodes[t]
+	delete(l.nodes, t)
+	delete(l.preds, t)
+	n.locked.Store(0)
+}
+
+// Adaptive is a GLS-style self-tuning lock (Antić et al., Middleware'16,
+// the paper's citation [1]): it starts as a spinlock and, when it observes
+// sustained contention (long acquisition waits), switches itself to a
+// futex-blocking mutex; it reverts when contention subsides. The paper
+// positions such adaptive designs as the software alternative its kernel
+// mechanisms make unnecessary.
+type Adaptive struct {
+	k   *sched.Kernel
+	tbl *futex.Table
+
+	word *sched.Word // 0 free, 1 held (spin mode); blocking mode uses f
+	f    *futex.Futex
+	sig  hw.SpinSig
+
+	// mode 0 = spin, 1 = blocking.
+	mode *sched.Word
+
+	// contention estimator: EWMA of acquisition wait, in ns.
+	ewmaWaitNS float64
+	// SwitchUpNS / SwitchDownNS are the hysteresis thresholds.
+	SwitchUpNS   float64
+	SwitchDownNS float64
+}
+
+// NewAdaptive allocates an adaptive lock in spin mode.
+func NewAdaptive(tbl *futex.Table) *Adaptive {
+	return &Adaptive{
+		k:            tbl.Kernel(),
+		tbl:          tbl,
+		word:         tbl.Kernel().NewWord(0),
+		f:            tbl.NewFutex(0),
+		mode:         tbl.Kernel().NewWord(0),
+		sig:          newSig(5, false),
+		SwitchUpNS:   50_000, // sustained 50us waits: stop burning CPU
+		SwitchDownNS: 5_000,
+	}
+}
+
+// Name implements Locker.
+func (l *Adaptive) Name() string { return "adaptive" }
+
+// Mode returns 0 while spinning, 1 while blocking (diagnostics).
+func (l *Adaptive) Mode() int { return int(l.mode.Load()) }
+
+// Lock implements Locker.
+func (l *Adaptive) Lock(t *sched.Thread) {
+	start := l.k.Now()
+	if l.mode.Load() == 0 {
+		l.lockSpin(t)
+	} else {
+		l.lockBlocking(t)
+	}
+	l.observe(float64(l.k.Now().Sub(start)))
+}
+
+func (l *Adaptive) lockSpin(t *sched.Thread) {
+	for {
+		t.Run(CriticalCost)
+		if l.word.Load() == 0 && l.word.CAS(0, 1) {
+			return
+		}
+		// Re-route if the lock switched modes while we waited.
+		if l.mode.Load() == 1 {
+			l.lockBlocking(t)
+			return
+		}
+		deadline := l.k.Now().Add(sim.Duration(l.SwitchUpNS))
+		if !t.SpinUntilDeadline(func() bool { return l.word.Load() == 0 || l.mode.Load() == 1 }, l.sig, deadline) {
+			// Spun a full budget without the lock freeing: flip to
+			// blocking mode for everyone.
+			l.mode.Store(1)
+			l.lockBlocking(t)
+			return
+		}
+	}
+}
+
+func (l *Adaptive) lockBlocking(t *sched.Thread) {
+	for {
+		t.Run(CriticalCost)
+		if l.word.Load() == 0 && l.word.CAS(0, 1) {
+			return
+		}
+		l.f.Word.Store(1)
+		l.f.Wait(t, 1)
+	}
+}
+
+// Unlock implements Locker.
+func (l *Adaptive) Unlock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	l.word.Store(0)
+	if l.mode.Load() == 1 {
+		l.f.Word.Store(0)
+		l.f.Wake(t, 1)
+	}
+}
+
+// observe updates the contention estimate and applies downward hysteresis.
+func (l *Adaptive) observe(waitNS float64) {
+	const alpha = 0.2
+	l.ewmaWaitNS = (1-alpha)*l.ewmaWaitNS + alpha*waitNS
+	if l.mode.Load() == 1 && l.ewmaWaitNS < l.SwitchDownNS {
+		l.mode.Store(0)
+	}
+}

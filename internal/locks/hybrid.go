@@ -1,0 +1,276 @@
+package locks
+
+import (
+	"oversub/internal/futex"
+	"oversub/internal/hw"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+// Mutexee is the spin-then-park mutex of Falsafi et al. ("Unlocking
+// Energy"): spin for a bounded budget, then sleep in the kernel via futex.
+// Under oversubscription the spin budget is pure waste and the sleep path
+// inherits all futex wakeup costs — the combination §4.4 measures.
+type Mutexee struct {
+	f      *futex.Futex
+	sig    hw.SpinSig
+	budget sim.Duration
+}
+
+// NewMutexee allocates a Mutexee lock with the default 30us spin budget.
+func NewMutexee(tbl *futex.Table) *Mutexee {
+	return &Mutexee{
+		f:      tbl.NewFutex(0),
+		sig:    newSig(6, true),
+		budget: 30 * sim.Microsecond,
+	}
+}
+
+// Name implements Locker.
+func (m *Mutexee) Name() string { return "mutexee" }
+
+// Lock implements Locker.
+func (m *Mutexee) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	if m.f.Word.CAS(0, 1) {
+		return
+	}
+	deadline := t.Kernel().Now().Add(m.budget)
+	for t.SpinUntilDeadline(func() bool { return m.f.Word.Load() == 0 }, m.sig, deadline) {
+		if m.f.Word.CAS(0, 1) {
+			return
+		}
+	}
+	// Spin budget exhausted: park in the kernel, glibc style.
+	for {
+		v := m.f.Word.Load()
+		if v == 2 || (v == 1 && m.f.Word.CAS(1, 2)) {
+			m.f.Wait(t, 2)
+		}
+		t.Run(CriticalCost)
+		if m.f.Word.CAS(0, 2) {
+			return
+		}
+	}
+}
+
+// Unlock implements Locker.
+func (m *Mutexee) Unlock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	if m.f.Word.Swap(0) == 2 {
+		m.f.Wake(t, 1)
+	}
+}
+
+// tpNode is an MCS-TP waiter: an MCS node whose owner may time out of
+// spinning and park on a per-node futex.
+type tpNode struct {
+	locked *sched.Word
+	parked *sched.Word
+	f      *futex.Futex
+	next   *tpNode
+}
+
+// MCSTP is the time-published MCS lock (He/Scherer/Scott): queue-FIFO
+// acquisition with per-waiter spin timeouts and kernel parking.
+type MCSTP struct {
+	k      *sched.Kernel
+	tbl    *futex.Table
+	tail   *tpNode
+	nodes  map[*sched.Thread]*tpNode
+	sig    hw.SpinSig
+	budget sim.Duration
+}
+
+// NewMCSTP allocates an MCS-TP lock with the default 50us spin budget.
+func NewMCSTP(tbl *futex.Table) *MCSTP {
+	return &MCSTP{
+		k:      tbl.Kernel(),
+		tbl:    tbl,
+		nodes:  make(map[*sched.Thread]*tpNode),
+		sig:    newSig(5, false),
+		budget: 50 * sim.Microsecond,
+	}
+}
+
+// Name implements Locker.
+func (l *MCSTP) Name() string { return "mcstp" }
+
+// Lock implements Locker.
+func (l *MCSTP) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	n := &tpNode{
+		locked: l.k.NewWord(1),
+		parked: l.k.NewWord(0),
+		f:      l.tbl.NewFutex(0),
+	}
+	l.nodes[t] = n
+	prev := l.tail
+	l.tail = n
+	if prev == nil {
+		return
+	}
+	prev.next = n
+	l.k.Kick()
+	deadline := l.k.Now().Add(l.budget)
+	if t.SpinUntilDeadline(func() bool { return n.locked.Load() == 0 }, l.sig, deadline) {
+		return
+	}
+	// Publish that we parked, then sleep until the releaser posts.
+	n.parked.Store(1)
+	for n.locked.Load() == 1 {
+		n.f.Wait(t, 0)
+	}
+}
+
+// Unlock implements Locker.
+func (l *MCSTP) Unlock(t *sched.Thread) {
+	n := l.nodes[t]
+	delete(l.nodes, t)
+	if n.next == nil {
+		if l.tail == n {
+			l.tail = nil
+			return
+		}
+		t.SpinUntil(func() bool { return n.next != nil }, l.sig)
+	}
+	succ := n.next
+	succ.locked.Store(0)
+	if succ.parked.Load() == 1 {
+		succ.f.Word.Store(1)
+		succ.f.Wake(t, 1)
+	}
+}
+
+// shflNode is a SHFLLOCK waiter.
+type shflNode struct {
+	t      *sched.Thread
+	node   int // NUMA node, used by the shuffler
+	parked *sched.Word
+	f      *futex.Futex
+}
+
+// Shfllock models SHFLLOCK (Kashyap et al., SOSP'19): a TAS word with a
+// shuffled waiter queue. The queue head (and one runner-up) spin; deeper
+// waiters park. The shuffler groups same-socket waiters at the front, and
+// a release wakes the leading parked waiters in a batch — the bulk-wakeup
+// and same-socket-wake behaviour the paper blames for its oversubscription
+// collapse (§4.4).
+type Shfllock struct {
+	k         *sched.Kernel
+	tbl       *futex.Table
+	word      *sched.Word
+	queue     []*shflNode
+	sig       hw.SpinSig
+	budget    sim.Duration
+	activeSet int
+	wakeBatch int
+}
+
+// NewShfllock allocates a SHFLLOCK.
+func NewShfllock(tbl *futex.Table) *Shfllock {
+	return &Shfllock{
+		k:         tbl.Kernel(),
+		tbl:       tbl,
+		word:      tbl.Kernel().NewWord(0),
+		sig:       newSig(5, false),
+		budget:    40 * sim.Microsecond,
+		activeSet: 2,
+		wakeBatch: 4,
+	}
+}
+
+// Name implements Locker.
+func (l *Shfllock) Name() string { return "shfllock" }
+
+// Lock implements Locker.
+func (l *Shfllock) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	if l.word.CAS(0, 1) {
+		return
+	}
+	n := &shflNode{
+		t:      t,
+		node:   l.k.Topology().NodeOf(t.CPU()),
+		parked: l.k.NewWord(0),
+		f:      l.tbl.NewFutex(0),
+	}
+	l.queue = append(l.queue, n)
+	for {
+		pos := l.position(n)
+		if pos < l.activeSet {
+			// Active waiter: spin for the word.
+			deadline := l.k.Now().Add(l.budget)
+			if t.SpinUntilDeadline(func() bool { return l.word.Load() == 0 }, l.sig, deadline) {
+				if l.word.CAS(0, 1) {
+					l.remove(n)
+					l.shuffle(n.node)
+					return
+				}
+			}
+			continue
+		}
+		// Passive waiter: park until promoted.
+		n.parked.Store(1)
+		n.f.Wait(t, 0)
+		n.parked.Store(0)
+		n.f.Word.Store(0)
+		t.Run(CriticalCost)
+	}
+}
+
+// Unlock implements Locker.
+func (l *Shfllock) Unlock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	l.word.Store(0)
+	// Wake the first wakeBatch parked waiters so the active set refills —
+	// a bulk wakeup on every contended release.
+	woken := 0
+	for _, n := range l.queue {
+		if woken >= l.wakeBatch {
+			break
+		}
+		if n.parked.Load() == 1 {
+			n.f.Word.Store(1)
+			n.f.Wake(t, 1)
+			woken++
+		}
+	}
+}
+
+func (l *Shfllock) position(n *shflNode) int {
+	for i, q := range l.queue {
+		if q == n {
+			return i
+		}
+	}
+	return -1
+}
+
+func (l *Shfllock) remove(n *shflNode) {
+	for i, q := range l.queue {
+		if q == n {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// shuffle stably moves waiters on the holder's socket ahead of remote ones
+// — SHFLLOCK's NUMA-awareness, which under oversubscription concentrates
+// wakeups on one socket and flaps the load.
+func (l *Shfllock) shuffle(node int) {
+	if len(l.queue) < 2 {
+		return
+	}
+	same := make([]*shflNode, 0, len(l.queue))
+	other := make([]*shflNode, 0, len(l.queue))
+	for _, q := range l.queue {
+		if q.node == node {
+			same = append(same, q)
+		} else {
+			other = append(other, q)
+		}
+	}
+	l.queue = append(same, other...)
+}

@@ -1,0 +1,49 @@
+// Package locks implements the user-level synchronization zoo the paper
+// evaluates against the simulated kernel:
+//
+//   - futex-based blocking primitives (pthread mutex, condition variable,
+//     barrier, semaphore) — §4.2;
+//   - the ten spinlocks of Figure 13 and Table 2 (TTAS, ticket, MCS, CLH,
+//     ALock-LS, partitioned ticket, pthread spin, Malthusian, CNA, AQS);
+//   - the spin-then-park algorithms of §4.4 (Mutexee, MCS-TP) and
+//     SHFLLOCK.
+//
+// Every spin loop carries a distinct SpinSig (branch address, iteration
+// latency, PAUSE usage), so busy-waiting detection sees each algorithm's
+// real architectural signature; only the pthread spinlock executes PAUSE,
+// which is why PLE detects nothing else.
+package locks
+
+import (
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+// Locker is mutual exclusion usable by simulated threads.
+type Locker interface {
+	Name() string
+	Lock(t *sched.Thread)
+	Unlock(t *sched.Thread)
+}
+
+// CriticalCost is the bookkeeping cost charged inside lock fast paths
+// (atomic RMW plus fence effects).
+const CriticalCost = 25 * sim.Nanosecond
+
+// SpinLockSet returns the ten spinlocks of Figure 13 / Table 2, in the
+// paper's order: alock-ls, clh, malth, mcs, partitioned, pthread, ticket,
+// ttas, cna, aqs.
+func SpinLockSet(k *sched.Kernel) []Locker {
+	return []Locker{
+		NewALockLS(k, 64),
+		NewCLH(k),
+		NewMalthusian(k),
+		NewMCS(k),
+		NewPartitioned(k, 8),
+		NewPthreadSpin(k),
+		NewTicket(k),
+		NewTTAS(k),
+		NewCNA(k),
+		NewAQS(k),
+	}
+}

@@ -1,0 +1,341 @@
+package locks
+
+import (
+	"oversub/internal/hw"
+	"oversub/internal/sched"
+)
+
+// qnode is a queue-lock waiter record. Waiters spin locally on their own
+// locked word; next-pointer updates call Kernel.Kick so spinning release
+// paths observe them.
+type qnode struct {
+	locked *sched.Word // 1 = must wait
+	next   *qnode
+	node   int // NUMA node of the enqueuing thread (CNA)
+}
+
+// MCS is the Mellor-Crummey/Scott queue lock: FIFO, local spinning.
+type MCS struct {
+	k     *sched.Kernel
+	tail  *qnode
+	nodes map[*sched.Thread]*qnode
+	sig   hw.SpinSig
+}
+
+// NewMCS allocates an MCS lock.
+func NewMCS(k *sched.Kernel) *MCS {
+	return &MCS{k: k, nodes: make(map[*sched.Thread]*qnode), sig: newSig(4, false)}
+}
+
+// Name implements Locker.
+func (l *MCS) Name() string { return "mcs" }
+
+// Lock implements Locker.
+func (l *MCS) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	n := &qnode{locked: l.k.NewWord(1)}
+	l.nodes[t] = n
+	prev := l.tail
+	l.tail = n
+	if prev != nil {
+		prev.next = n
+		l.k.Kick()
+		t.SpinUntil(func() bool { return n.locked.Load() == 0 }, l.sig)
+	}
+}
+
+// Unlock implements Locker.
+func (l *MCS) Unlock(t *sched.Thread) {
+	n := l.nodes[t]
+	delete(l.nodes, t)
+	if n.next == nil {
+		if l.tail == n {
+			l.tail = nil
+			return
+		}
+		// An enqueuer swapped the tail but has not linked next yet; its
+		// preemption right here is the classic MCS hazard.
+		t.SpinUntil(func() bool { return n.next != nil }, l.sig)
+	}
+	n.next.locked.Store(0)
+}
+
+// CLH is the Craig/Landin/Hagersten lock: an implicit queue where each
+// waiter spins on its predecessor's word.
+type CLH struct {
+	k     *sched.Kernel
+	tail  *qnode
+	nodes map[*sched.Thread]*qnode
+	sig   hw.SpinSig
+}
+
+// NewCLH allocates a CLH lock.
+func NewCLH(k *sched.Kernel) *CLH {
+	dummy := &qnode{locked: k.NewWord(0)}
+	return &CLH{k: k, tail: dummy, nodes: make(map[*sched.Thread]*qnode), sig: newSig(4, false)}
+}
+
+// Name implements Locker.
+func (l *CLH) Name() string { return "clh" }
+
+// Lock implements Locker.
+func (l *CLH) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	n := &qnode{locked: l.k.NewWord(1)}
+	l.nodes[t] = n
+	prev := l.tail
+	l.tail = n
+	if prev.locked.Load() == 1 {
+		t.SpinUntil(func() bool { return prev.locked.Load() == 0 }, l.sig)
+	}
+}
+
+// Unlock implements Locker.
+func (l *CLH) Unlock(t *sched.Thread) {
+	n := l.nodes[t]
+	delete(l.nodes, t)
+	n.locked.Store(0)
+}
+
+// CNA is the compact NUMA-aware lock: an MCS queue whose release path
+// prefers a same-socket successor, parking skipped remote waiters on a
+// secondary list that is flushed when the main queue drains.
+type CNA struct {
+	k         *sched.Kernel
+	tail      *qnode
+	secondary []*qnode
+	nodes     map[*sched.Thread]*qnode
+	sig       hw.SpinSig
+	scanDepth int
+}
+
+// NewCNA allocates a CNA lock.
+func NewCNA(k *sched.Kernel) *CNA {
+	return &CNA{k: k, nodes: make(map[*sched.Thread]*qnode), sig: newSig(4, false), scanDepth: 8}
+}
+
+// Name implements Locker.
+func (l *CNA) Name() string { return "cna" }
+
+// Lock implements Locker.
+func (l *CNA) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	n := &qnode{locked: l.k.NewWord(1), node: l.k.Topology().NodeOf(t.CPU())}
+	l.nodes[t] = n
+	prev := l.tail
+	l.tail = n
+	if prev != nil {
+		prev.next = n
+		l.k.Kick()
+		t.SpinUntil(func() bool { return n.locked.Load() == 0 }, l.sig)
+	}
+}
+
+// Unlock implements Locker.
+func (l *CNA) Unlock(t *sched.Thread) {
+	n := l.nodes[t]
+	delete(l.nodes, t)
+	if n.next == nil && l.tail == n {
+		l.tail = nil
+		l.flushSecondary(t)
+		return
+	}
+	if n.next == nil {
+		t.SpinUntil(func() bool { return n.next != nil }, l.sig)
+	}
+	// Prefer a same-node successor within the scan window.
+	myNode := n.node
+	if succ := n.next; succ.node != myNode {
+		cand := succ.next
+		for depth := 0; cand != nil && depth < l.scanDepth; depth++ {
+			if cand.node == myNode {
+				// Move the skipped prefix [succ, cand) to the secondary list.
+				for q := succ; q != cand; {
+					nx := q.next
+					q.next = nil
+					l.secondary = append(l.secondary, q)
+					q = nx
+				}
+				cand.locked.Store(0)
+				return
+			}
+			cand = cand.next
+		}
+	}
+	n.next.locked.Store(0)
+}
+
+// flushSecondary re-admits deferred remote waiters once the main queue is
+// empty: re-link them as a chain and grant the head.
+func (l *CNA) flushSecondary(t *sched.Thread) {
+	if len(l.secondary) == 0 {
+		return
+	}
+	head := l.secondary[0]
+	for i := 0; i < len(l.secondary)-1; i++ {
+		l.secondary[i].next = l.secondary[i+1]
+	}
+	l.tail = l.secondary[len(l.secondary)-1]
+	l.secondary = l.secondary[:0]
+	l.k.Kick()
+	head.locked.Store(0)
+}
+
+// Malthusian is Dice's lock: an MCS queue that aggressively culls surplus
+// waiters onto a passive LIFO so the active set stays small; passive
+// waiters keep spinning on their own words (the spin variant evaluated in
+// the paper).
+type Malthusian struct {
+	k       *sched.Kernel
+	tail    *qnode
+	passive []*qnode // LIFO
+	nodes   map[*sched.Thread]*qnode
+	sig     hw.SpinSig
+}
+
+// NewMalthusian allocates a Malthusian lock.
+func NewMalthusian(k *sched.Kernel) *Malthusian {
+	return &Malthusian{k: k, nodes: make(map[*sched.Thread]*qnode), sig: newSig(6, false)}
+}
+
+// Name implements Locker.
+func (l *Malthusian) Name() string { return "malth" }
+
+// Lock implements Locker.
+func (l *Malthusian) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	n := &qnode{locked: l.k.NewWord(1)}
+	l.nodes[t] = n
+	prev := l.tail
+	l.tail = n
+	if prev != nil {
+		prev.next = n
+		l.k.Kick()
+		t.SpinUntil(func() bool { return n.locked.Load() == 0 }, l.sig)
+	}
+}
+
+// Unlock implements Locker.
+func (l *Malthusian) Unlock(t *sched.Thread) {
+	n := l.nodes[t]
+	delete(l.nodes, t)
+	if n.next == nil {
+		if l.tail == n {
+			l.tail = nil
+			// Re-admit one passive waiter, if any (LIFO).
+			if len(l.passive) > 0 {
+				p := l.passive[len(l.passive)-1]
+				l.passive = l.passive[:len(l.passive)-1]
+				l.tail = p
+				p.next = nil
+				l.k.Kick()
+				p.locked.Store(0)
+			}
+			return
+		}
+		t.SpinUntil(func() bool { return n.next != nil }, l.sig)
+	}
+	succ := n.next
+	// Cull everything behind the successor onto the passive list, keeping
+	// the active queue minimal.
+	for q := succ.next; q != nil; {
+		nx := q.next
+		q.next = nil
+		l.passive = append(l.passive, q)
+		q = nx
+	}
+	succ.next = nil
+	l.tail = succ
+	l.k.Kick()
+	succ.locked.Store(0)
+}
+
+// AQS is a qspinlock-style adaptive queue lock: a test-and-set word with a
+// pending fast-waiter slot, falling back to an MCS queue beyond that.
+type AQS struct {
+	k       *sched.Kernel
+	word    *sched.Word // 0 free, 1 locked, 2 locked+pending
+	tail    *qnode
+	nodes   map[*sched.Thread]*qnode
+	sigFast hw.SpinSig
+	sigSlow hw.SpinSig
+}
+
+// NewAQS allocates an AQS lock.
+func NewAQS(k *sched.Kernel) *AQS {
+	return &AQS{
+		k:       k,
+		word:    k.NewWord(0),
+		nodes:   make(map[*sched.Thread]*qnode),
+		sigFast: newSig(5, false),
+		sigSlow: newSig(4, false),
+	}
+}
+
+// Name implements Locker.
+func (l *AQS) Name() string { return "aqs" }
+
+// Lock implements Locker.
+func (l *AQS) Lock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	if l.word.CAS(0, 1) {
+		return
+	}
+	// Try to become the single pending waiter (qspinlock's pending bit):
+	// spin on the word directly without queueing.
+	if l.tail == nil && l.word.Load() == 1 && l.word.CAS(1, 2) {
+		for !l.word.CAS(0, 1) {
+			t.SpinUntil(l.wordFree, l.sigFast)
+		}
+		return
+	}
+	// Queue path.
+	n := &qnode{locked: l.k.NewWord(1)}
+	l.nodes[t] = n
+	prev := l.tail
+	l.tail = n
+	if prev != nil {
+		prev.next = n
+		l.k.Kick()
+		t.SpinUntil(func() bool { return n.locked.Load() == 0 }, l.sigSlow)
+	} else {
+		// Head of queue: wait for the word itself.
+	}
+	for !l.word.CAS(0, 1) {
+		t.SpinUntil(l.wordFree, l.sigSlow)
+	}
+	// Pass queue headship to the successor.
+	if n.next != nil {
+		n.next.locked.Store(0)
+	} else if l.tail == n {
+		l.tail = nil
+	} else {
+		t.SpinUntil(func() bool { return n.next != nil }, l.sigSlow)
+		n.next.locked.Store(0)
+	}
+	delete(l.nodes, t)
+}
+
+func (l *AQS) wordFree() bool { return l.word.Load() == 0 }
+
+// Unlock implements Locker.
+func (l *AQS) Unlock(t *sched.Thread) {
+	// Drop the lock; a pending waiter (state 2) or the queue head will
+	// claim it via CAS.
+	l.word.Store(0)
+}
+
+// Sig implements Spinner.
+func (l *MCS) Sig() hw.SpinSig { return l.sig }
+
+// Sig implements Spinner.
+func (l *CLH) Sig() hw.SpinSig { return l.sig }
+
+// Sig implements Spinner.
+func (l *CNA) Sig() hw.SpinSig { return l.sig }
+
+// Sig implements Spinner.
+func (l *Malthusian) Sig() hw.SpinSig { return l.sig }
+
+// Sig implements Spinner.
+func (l *AQS) Sig() hw.SpinSig { return l.sigSlow }

@@ -1,0 +1,133 @@
+package locks
+
+import (
+	"oversub/internal/futex"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+// TryLock attempts the mutex fast path without blocking.
+func (m *Mutex) TryLock(t *sched.Thread) bool {
+	t.Run(CriticalCost)
+	return m.f.Word.CAS(0, 1)
+}
+
+// LockTimeout acquires the mutex or gives up after the timeout, reporting
+// success (pthread_mutex_timedlock).
+func (m *Mutex) LockTimeout(t *sched.Thread, timeout sim.Duration) bool {
+	t.Run(CriticalCost)
+	if m.f.Word.CAS(0, 1) {
+		return true
+	}
+	deadline := t.Kernel().Now().Add(timeout)
+	for {
+		remaining := deadline.Sub(t.Kernel().Now())
+		if remaining <= 0 {
+			return false
+		}
+		v := m.f.Word.Load()
+		if v == 2 || (v == 1 && m.f.Word.CAS(1, 2)) {
+			if _, timedOut := m.f.WaitTimeout(t, 2, remaining); timedOut {
+				// One last try; another holder may have just released.
+				t.Run(CriticalCost)
+				return m.f.Word.CAS(0, 2)
+			}
+		}
+		t.Run(CriticalCost)
+		if m.f.Word.CAS(0, 2) {
+			return true
+		}
+	}
+}
+
+// RWLock is a writer-preferring readers-writer lock over two futexes, in
+// the style of glibc's pthread_rwlock: a state word holding the reader
+// count plus a writer bit, and separate wait channels for readers and
+// writers.
+type RWLock struct {
+	// state: bit 31 = writer held; low bits = active readers.
+	state      *sched.Word
+	readerGate *futex.Futex // readers sleep here while a writer holds
+	writerGate *futex.Futex // writers queue here
+	waitingWr  int
+}
+
+const rwWriterBit = 1 << 31
+
+// NewRWLock allocates an unlocked readers-writer lock.
+func NewRWLock(tbl *futex.Table) *RWLock {
+	return &RWLock{
+		state:      tbl.Kernel().NewWord(0),
+		readerGate: tbl.NewFutex(0),
+		writerGate: tbl.NewFutex(0),
+	}
+}
+
+// RLock acquires the lock for reading; readers share, but yield to queued
+// writers (writer preference avoids writer starvation).
+func (l *RWLock) RLock(t *sched.Thread) {
+	for {
+		t.Run(CriticalCost)
+		s := l.state.Load()
+		if s&rwWriterBit == 0 && l.waitingWr == 0 {
+			l.state.Store(s + 1)
+			return
+		}
+		gen := l.readerGate.Word.Load()
+		// Re-check under the gate generation to avoid a lost wakeup.
+		s = l.state.Load()
+		if s&rwWriterBit == 0 && l.waitingWr == 0 {
+			continue
+		}
+		l.readerGate.Wait(t, gen)
+	}
+}
+
+// RUnlock releases a read hold; the last reader admits a queued writer.
+func (l *RWLock) RUnlock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	s := l.state.Sub(1)
+	if s == 0 && l.waitingWr > 0 {
+		l.writerGate.Word.Add(1)
+		l.writerGate.Wake(t, 1)
+	}
+}
+
+// Lock acquires the lock for writing, excluding readers and writers.
+func (l *RWLock) Lock(t *sched.Thread) {
+	l.waitingWr++
+	for {
+		t.Run(CriticalCost)
+		if l.state.CAS(0, rwWriterBit) {
+			l.waitingWr--
+			return
+		}
+		gen := l.writerGate.Word.Load()
+		if l.state.Load() == 0 {
+			continue
+		}
+		l.writerGate.Wait(t, gen)
+	}
+}
+
+// Unlock releases a write hold, admitting either the next writer or the
+// waiting readers.
+func (l *RWLock) Unlock(t *sched.Thread) {
+	t.Run(CriticalCost)
+	l.state.Store(0)
+	if l.waitingWr > 0 {
+		l.writerGate.Word.Add(1)
+		l.writerGate.Wake(t, 1)
+		return
+	}
+	l.readerGate.Word.Add(1)
+	l.readerGate.WakeAll(t)
+}
+
+// Name implements Locker (write-side).
+func (l *RWLock) Name() string { return "rwlock" }
+
+// Readers returns the number of active readers (diagnostics).
+func (l *RWLock) Readers() int {
+	return int(l.state.Load() &^ rwWriterBit)
+}

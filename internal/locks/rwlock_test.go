@@ -1,0 +1,242 @@
+package locks
+
+import (
+	"testing"
+
+	"oversub/internal/futex"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+func TestTryLock(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := futex.NewTable(k, 0)
+	m := NewMutex(tbl)
+	var got1, got2 bool
+	k.Spawn("a", func(th *sched.Thread) {
+		got1 = m.TryLock(th)
+		th.Run(3 * sim.Millisecond)
+		m.Unlock(th)
+	})
+	k.Spawn("b", func(th *sched.Thread) {
+		th.Run(sim.Millisecond)
+		got2 = m.TryLock(th) // held by a
+		th.Run(4 * sim.Millisecond)
+		if m.TryLock(th) { // released by now
+			m.Unlock(th)
+		} else {
+			panic("trylock on free mutex failed")
+		}
+	})
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if !got1 || got2 {
+		t.Errorf("got1=%v got2=%v, want true/false", got1, got2)
+	}
+}
+
+func TestLockTimeoutExpires(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := futex.NewTable(k, 0)
+	m := NewMutex(tbl)
+	var acquired bool
+	var waited sim.Duration
+	k.Spawn("holder", func(th *sched.Thread) {
+		m.Lock(th)
+		th.Run(20 * sim.Millisecond)
+		m.Unlock(th)
+	})
+	k.Spawn("timed", func(th *sched.Thread) {
+		th.Run(sim.Millisecond)
+		start := k.Now()
+		acquired = m.LockTimeout(th, 5*sim.Millisecond)
+		waited = k.Now().Sub(start)
+	})
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if acquired {
+		t.Error("timed lock acquired despite a 20ms holder")
+	}
+	if waited < 5*sim.Millisecond || waited > 7*sim.Millisecond {
+		t.Errorf("waited %v, want ~5ms", waited)
+	}
+}
+
+func TestLockTimeoutSucceeds(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := futex.NewTable(k, 0)
+	m := NewMutex(tbl)
+	var acquired bool
+	k.Spawn("holder", func(th *sched.Thread) {
+		m.Lock(th)
+		th.Run(2 * sim.Millisecond)
+		m.Unlock(th)
+	})
+	k.Spawn("timed", func(th *sched.Thread) {
+		th.Run(sim.Millisecond)
+		acquired = m.LockTimeout(th, 50*sim.Millisecond)
+		if acquired {
+			m.Unlock(th)
+		}
+	})
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if !acquired {
+		t.Error("timed lock failed despite early release")
+	}
+}
+
+func TestRWLockSharedReaders(t *testing.T) {
+	k := testKernel(t, 4, sched.Features{})
+	tbl := futex.NewTable(k, 0)
+	l := NewRWLock(tbl)
+	maxReaders := 0
+	for i := 0; i < 4; i++ {
+		k.Spawn("r", func(th *sched.Thread) {
+			l.RLock(th)
+			if r := l.Readers(); r > maxReaders {
+				maxReaders = r
+			}
+			th.Run(3 * sim.Millisecond)
+			l.RUnlock(th)
+		})
+	}
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if maxReaders < 2 {
+		t.Errorf("maxReaders = %d; readers did not share", maxReaders)
+	}
+	// 4 overlapping 3ms reads must take far less than the serialized 12ms.
+	if end := k.Now(); end > sim.Time(7*sim.Millisecond) {
+		t.Errorf("end = %v, readers appear serialized", end)
+	}
+}
+
+func TestRWLockWriterExclusion(t *testing.T) {
+	k := testKernel(t, 4, sched.Features{})
+	tbl := futex.NewTable(k, 0)
+	l := NewRWLock(tbl)
+	writing := false
+	readers := 0
+	violations := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("r", func(th *sched.Thread) {
+			for j := 0; j < 10; j++ {
+				l.RLock(th)
+				readers++
+				if writing {
+					violations++
+				}
+				th.Run(100 * sim.Microsecond)
+				readers--
+				l.RUnlock(th)
+				th.Run(50 * sim.Microsecond)
+			}
+		})
+	}
+	for i := 0; i < 2; i++ {
+		k.Spawn("w", func(th *sched.Thread) {
+			for j := 0; j < 6; j++ {
+				l.Lock(th)
+				if readers != 0 || writing {
+					violations++
+				}
+				writing = true
+				th.Run(200 * sim.Microsecond)
+				writing = false
+				l.Unlock(th)
+				th.Run(100 * sim.Microsecond)
+			}
+		})
+	}
+	if err := k.RunToCompletion(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Errorf("%d exclusion violations", violations)
+	}
+}
+
+func TestRWLockWriterNotStarved(t *testing.T) {
+	k := testKernel(t, 4, sched.Features{})
+	tbl := futex.NewTable(k, 0)
+	l := NewRWLock(tbl)
+	var writerDone sim.Time
+	stop := false
+	for i := 0; i < 3; i++ {
+		k.Spawn("r", func(th *sched.Thread) {
+			for !stop {
+				l.RLock(th)
+				th.Run(200 * sim.Microsecond)
+				l.RUnlock(th)
+			}
+		})
+	}
+	k.Spawn("w", func(th *sched.Thread) {
+		th.Run(sim.Millisecond)
+		l.Lock(th)
+		writerDone = k.Now()
+		th.Run(100 * sim.Microsecond)
+		stop = true
+		l.Unlock(th)
+	})
+	if err := k.RunToCompletion(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if writerDone == 0 {
+		t.Fatal("writer never acquired")
+	}
+	if writerDone > sim.Time(20*sim.Millisecond) {
+		t.Errorf("writer starved until %v under a constant read load", writerDone)
+	}
+}
+
+func TestFutexWaitTimeout(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := futex.NewTable(k, 0)
+	f := tbl.NewFutex(0)
+	var slept, timedOut bool
+	var waited sim.Duration
+	k.Spawn("w", func(th *sched.Thread) {
+		start := k.Now()
+		slept, timedOut = f.WaitTimeout(th, 0, 3*sim.Millisecond)
+		waited = k.Now().Sub(start)
+	})
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if !slept || !timedOut {
+		t.Errorf("slept=%v timedOut=%v, want true/true", slept, timedOut)
+	}
+	if waited < 3*sim.Millisecond || waited > 4*sim.Millisecond {
+		t.Errorf("waited %v, want ~3ms", waited)
+	}
+	if f.Waiters() != 0 {
+		t.Error("expired waiter still queued")
+	}
+}
+
+func TestFutexWaitTimeoutWokenEarly(t *testing.T) {
+	k := testKernel(t, 2, sched.Features{})
+	tbl := futex.NewTable(k, 0)
+	f := tbl.NewFutex(0)
+	var timedOut bool
+	k.Spawn("w", func(th *sched.Thread) {
+		_, timedOut = f.WaitTimeout(th, 0, 50*sim.Millisecond)
+	})
+	k.Spawn("waker", func(th *sched.Thread) {
+		th.Run(2 * sim.Millisecond)
+		f.Wake(th, 1)
+	})
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if timedOut {
+		t.Error("woken waiter reported timeout")
+	}
+	// The cancelled timer must not fire later (completion proves it).
+}

@@ -1,0 +1,256 @@
+// Package mem provides the analytic memory-cost model of the simulator.
+//
+// The model answers two questions the paper's §2.3 study poses:
+//
+//  1. Steady state: how many nanoseconds does one element access cost for a
+//     thread whose private working set is W bytes, under a given access
+//     pattern, when k threads time-share the core (and therefore its private
+//     caches)?
+//  2. Per context switch: how much warm state (L1/L2 lines, TLB entries) is
+//     destroyed when another thread runs in between, and what does refilling
+//     it cost the incoming thread?
+//
+// Together these reproduce the Figure 4 regimes: sequential patterns pay a
+// pollution-refill cost that grows with the working set (up to ~1 ms per
+// switch at 128 MB); random reads gain when the per-thread sub-array fits a
+// TLB level that the full array does not (256–512 KB for the L1 dTLB, beyond
+// ~8 MB for the L2 dTLB) and lose in between (1–4 MB) where only the L2 data
+// cache differentiates; random read-modify-write is dominated by the TLB
+// term because dirty lines are written back regardless, so oversubscription
+// is always favourable at large sizes.
+package mem
+
+import (
+	"fmt"
+
+	"oversub/internal/hw"
+	"oversub/internal/sim"
+)
+
+// Pattern is a memory access pattern from the paper's micro-benchmark.
+type Pattern int
+
+const (
+	// NoAccess marks a thread with no modelled memory footprint.
+	NoAccess Pattern = iota
+	// SeqRead streams through the working set in address order.
+	SeqRead
+	// SeqRMW streams in address order, modifying each element.
+	SeqRMW
+	// RndRead reads elements in uniformly random order.
+	RndRead
+	// RndRMW reads and modifies elements in uniformly random order.
+	RndRMW
+)
+
+// String returns the paper's label for the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case NoAccess:
+		return "none"
+	case SeqRead:
+		return "seq-r"
+	case SeqRMW:
+		return "seq-rmw"
+	case RndRead:
+		return "rnd-r"
+	case RndRMW:
+		return "rnd-rmw"
+	}
+	return fmt.Sprintf("Pattern(%d)", int(p))
+}
+
+// Sequential reports whether the pattern streams in address order.
+func (p Pattern) Sequential() bool { return p == SeqRead || p == SeqRMW }
+
+// Writes reports whether the pattern dirties cache lines.
+func (p Pattern) Writes() bool { return p == SeqRMW || p == RndRMW }
+
+// Footprint is a thread's modelled memory behaviour: what it touches and how.
+type Footprint struct {
+	Pattern Pattern
+	Bytes   int64 // private working set (this thread's share of the data)
+}
+
+// Zero reports whether the footprint models no memory activity.
+func (f Footprint) Zero() bool { return f.Pattern == NoAccess || f.Bytes <= 0 }
+
+// ElemSize is the element size of the paper's micro-benchmark arrays
+// (a double).
+const ElemSize = 8
+
+// Model holds the latency constants of the memory hierarchy. All latencies
+// are nanoseconds. Construct with NewModel; the defaults are calibrated to a
+// 2.1 GHz Broadwell Xeon.
+type Model struct {
+	Geo hw.CacheGeometry
+
+	// Data access latencies by the level that serves the access.
+	L1Hit, L2Hit, L3Hit, DRAM float64
+
+	// Translation costs: served by the L1 dTLB, the L2 dTLB, or a page walk.
+	TLB1Hit, TLB2Hit, Walk float64
+
+	// Sequential streaming: cost per cache line when the hardware prefetcher
+	// is ahead, and the probability it is.
+	PrefetchedLine float64
+	PrefetchEff    float64
+
+	// Refill penalties per destroyed line/entry charged to a thread when it
+	// is dispatched after a different thread polluted the core.
+	SeqRefillPerLine float64
+	L2RefillPerLine  float64
+	L1RefillPerLine  float64
+
+	// Writeback adds to refill for dirty working sets.
+	WritebackPerLine float64
+
+	// FitMargin scales cache/TLB reach: a working set "fits" a level of
+	// reach R only if ws <= FitMargin*R. The default of 1.0 matches the
+	// paper's binary fit reasoning in §2.3.
+	FitMargin float64
+}
+
+// NewModel returns the calibrated model for the given geometry.
+func NewModel(geo hw.CacheGeometry) *Model {
+	return &Model{
+		Geo:              geo,
+		L1Hit:            1.2,
+		L2Hit:            4.0,
+		L3Hit:            14.0,
+		DRAM:             85.0,
+		TLB1Hit:          0.6,
+		TLB2Hit:          3.2,
+		Walk:             26.0,
+		PrefetchedLine:   11.0,
+		PrefetchEff:      0.95,
+		SeqRefillPerLine: 1.1,
+		L2RefillPerLine:  2.0,
+		L1RefillPerLine:  1.0,
+		WritebackPerLine: 0.6,
+		FitMargin:        1.0,
+	}
+}
+
+// fits reports whether ws fits within reach after the margin discount.
+func (m *Model) fits(ws, reach int64) bool {
+	return float64(ws) <= m.FitMargin*float64(reach)
+}
+
+// translationNS returns the average per-access translation cost for random
+// access over a working set of ws bytes. The L1 dTLB is treated as a binary
+// fit (it is tiny); the L2 dTLB degrades fractionally once exceeded, since a
+// fraction reach/ws of accesses still hit cached entries.
+func (m *Model) translationNS(ws int64) float64 {
+	if m.fits(ws, m.Geo.TLB1Reach()) {
+		return m.TLB1Hit
+	}
+	c := m.TLB2Hit
+	if reach2 := m.Geo.TLB2Reach(); !m.fits(ws, reach2) {
+		missFrac := 1 - float64(reach2)*m.FitMargin/float64(ws)
+		if missFrac < 0 {
+			missFrac = 0
+		}
+		c += missFrac * m.Walk
+	}
+	return c
+}
+
+// dataNS returns the average per-access data cost for random access over ws
+// bytes when the core's private caches are shared by k time-multiplexed
+// threads (k >= 1). Residency in each level is proportional to the level's
+// effective share.
+func (m *Model) dataNS(ws int64, k int) float64 {
+	if k < 1 {
+		k = 1
+	}
+	frac := func(capacity int64) float64 {
+		f := float64(capacity) / float64(k) / float64(ws)
+		if f > 1 {
+			f = 1
+		}
+		return f
+	}
+	fL1 := frac(m.Geo.L1D)
+	fL2 := frac(m.Geo.L2)
+	fL3 := frac(m.Geo.L3)
+	if fL2 < fL1 {
+		fL2 = fL1
+	}
+	if fL3 < fL2 {
+		fL3 = fL2
+	}
+	return fL1*m.L1Hit + (fL2-fL1)*m.L2Hit + (fL3-fL2)*m.L3Hit + (1-fL3)*m.DRAM
+}
+
+// PerAccessNS returns the steady-state cost in nanoseconds of one element
+// access for footprint f when k threads time-share the core.
+func (m *Model) PerAccessNS(f Footprint, k int) float64 {
+	if f.Zero() {
+		return 0
+	}
+	if f.Pattern.Sequential() {
+		// Streaming: the prefetcher hides most latency; translation is
+		// amortized over a page worth of elements.
+		perLine := m.PrefetchEff*m.PrefetchedLine + (1-m.PrefetchEff)*m.DRAM
+		elemsPerLine := float64(m.Geo.LineSize / ElemSize)
+		elemsPerPage := float64(m.Geo.PageSize / ElemSize)
+		c := perLine/elemsPerLine + m.Walk/elemsPerPage
+		if f.Pattern.Writes() {
+			c *= 1.3 // write-allocate + writeback bandwidth share
+		}
+		return c
+	}
+	c := m.translationNS(f.Bytes) + m.dataNS(f.Bytes, k)
+	if f.Pattern.Writes() {
+		c += m.WritebackPerLine
+	}
+	return c
+}
+
+// PerSwitchCost returns the warm-state refill penalty charged to a thread
+// with footprint f when it is dispatched after a different thread ran on the
+// core.
+func (m *Model) PerSwitchCost(f Footprint) sim.Duration {
+	if f.Zero() {
+		return 0
+	}
+	lines := func(b int64) float64 { return float64(b) / float64(m.Geo.LineSize) }
+	minI := func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	var ns float64
+	if f.Pattern.Sequential() {
+		// Re-streaming the polluted portion of the hierarchy (bounded by L3).
+		resident := minI(f.Bytes, m.Geo.L3)
+		ns = lines(resident) * m.SeqRefillPerLine
+		if f.Pattern.Writes() {
+			ns += lines(resident) * m.WritebackPerLine
+		}
+	} else {
+		if f.Pattern == RndRead {
+			// Destroyed L1/L2 residency must be refilled from L3.
+			ns = lines(minI(f.Bytes, m.Geo.L2))*m.L2RefillPerLine +
+				lines(minI(f.Bytes, m.Geo.L1D))*m.L1RefillPerLine
+		} else {
+			// RMW: dirty lines are written back regardless of switching, so
+			// the L2 is "not an important factor" (paper §2.3); only the L1
+			// refill remains.
+			ns = lines(minI(f.Bytes, m.Geo.L1D)) * m.L1RefillPerLine
+		}
+	}
+	return sim.Duration(ns)
+}
+
+// TraversalTime returns the steady-state time to access every element of the
+// footprint once, with k threads sharing the core.
+func (m *Model) TraversalTime(f Footprint, k int) sim.Duration {
+	if f.Zero() {
+		return 0
+	}
+	elems := float64(f.Bytes / ElemSize)
+	return sim.Duration(elems * m.PerAccessNS(f, k))
+}

@@ -1,0 +1,200 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"oversub/internal/hw"
+	"oversub/internal/sim"
+)
+
+func model() *Model { return NewModel(hw.PaperCaches()) }
+
+// indirectPerCS computes the analytic indirect cost of one context switch in
+// the Fig 4 setup: two threads each traversing half of a total-byte array on
+// one core versus one thread traversing all of it, one context switch per
+// sub-array traversal.
+func indirectPerCS(m *Model, p Pattern, total int64) float64 {
+	sub := total / 2
+	single := Footprint{Pattern: p, Bytes: total}
+	dual := Footprint{Pattern: p, Bytes: sub}
+	accessesPerSlice := float64(sub / ElemSize)
+	steadyDiff := m.PerAccessNS(dual, 2) - m.PerAccessNS(single, 1)
+	return float64(m.PerSwitchCost(dual)) + steadyDiff*accessesPerSlice
+}
+
+func TestPatternString(t *testing.T) {
+	cases := map[Pattern]string{
+		NoAccess: "none", SeqRead: "seq-r", SeqRMW: "seq-rmw",
+		RndRead: "rnd-r", RndRMW: "rnd-rmw",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestZeroFootprintCostsNothing(t *testing.T) {
+	m := model()
+	f := Footprint{}
+	if m.PerAccessNS(f, 1) != 0 || m.PerSwitchCost(f) != 0 || m.TraversalTime(f, 1) != 0 {
+		t.Error("zero footprint must cost nothing")
+	}
+}
+
+func TestSeqIndirectCostPositiveAndMonotonic(t *testing.T) {
+	m := model()
+	sizes := []int64{512 << 10, 2 << 20, 8 << 20, 32 << 20, 128 << 20}
+	prev := 0.0
+	for _, s := range sizes {
+		c := indirectPerCS(m, SeqRead, s)
+		if c <= 0 {
+			t.Errorf("seq-r indirect cost at %dKB = %v, want positive", s>>10, c)
+		}
+		if c < prev {
+			t.Errorf("seq-r indirect cost not monotonic at %dKB: %v < %v", s>>10, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestSeqIndirectCostMagnitudeAt128MB(t *testing.T) {
+	// Paper: "With an array of 128MB, the indirect cost of context switch is
+	// around 1 ms, more than 600x of the direct cost."
+	m := model()
+	c := indirectPerCS(m, SeqRMW, 128<<20)
+	ms := c / 1e6
+	if ms < 0.5 || ms > 3 {
+		t.Errorf("seq-rmw indirect cost at 128MB = %.3fms, want ~1ms", ms)
+	}
+	if c < 600*1500 { // 600x the 1.5us direct cost
+		t.Errorf("seq-rmw indirect cost at 128MB = %.0fns, want > 600x direct (900us)", c)
+	}
+}
+
+func TestSeqOverheadBoundedBySixPercent(t *testing.T) {
+	// Paper: at 128MB each thread needs ~17.5ms per traversal, so the
+	// indirect overhead is < 6% of execution time.
+	m := model()
+	f := Footprint{Pattern: SeqRMW, Bytes: 64 << 20}
+	traversal := float64(m.TraversalTime(f, 2))
+	cost := indirectPerCS(m, SeqRMW, 128<<20)
+	if frac := cost / traversal; frac > 0.08 || frac <= 0 {
+		t.Errorf("seq-rmw overhead fraction = %.3f, want < ~0.06", frac)
+	}
+}
+
+func TestRndReadRegimes(t *testing.T) {
+	m := model()
+	// Paper Fig 4: negative (beneficial) where the sub-array fits the L1
+	// dTLB but the full array does not; positive in 1-4MB where only L2
+	// residency differentiates; strongly negative at 8MB+ where the TLB2
+	// effect dominates.
+	if c := indirectPerCS(m, RndRead, 512<<10); c >= 0 {
+		t.Errorf("rnd-r at 512KB = %v, want negative (L1 TLB fit benefit)", c)
+	}
+	for _, s := range []int64{1 << 20, 2 << 20, 4 << 20} {
+		if c := indirectPerCS(m, RndRead, s); c <= 0 {
+			t.Errorf("rnd-r at %dMB = %v, want positive (L2 flush loss)", s>>20, c)
+		}
+	}
+	for _, s := range []int64{8 << 20, 16 << 20, 64 << 20, 128 << 20} {
+		if c := indirectPerCS(m, RndRead, s); c >= 0 {
+			t.Errorf("rnd-r at %dMB = %v, want negative (TLB2 benefit)", s>>20, c)
+		}
+	}
+}
+
+func TestTLBBenefitOrderOfMagnitudeAboveL2Effect(t *testing.T) {
+	// Paper: "the benefit of TLB performance gain is an order of magnitude
+	// higher than that of the L2 cache."
+	m := model()
+	l2Loss := indirectPerCS(m, RndRead, 2<<20)    // positive, L2-driven
+	tlbGain := -indirectPerCS(m, RndRead, 16<<20) // negative, TLB-driven
+	if tlbGain < 8*l2Loss {
+		t.Errorf("TLB gain %v not >> L2 loss %v", tlbGain, l2Loss)
+	}
+}
+
+func TestRndRMWAlwaysFavorableBeyondTLB1(t *testing.T) {
+	m := model()
+	// Paper: "it is always more favorable to oversubscribe threads for RMW
+	// workloads with random access" — the L2 term drops out, so beyond the
+	// L1-TLB boundary the cost is never meaningfully positive.
+	for _, s := range []int64{512 << 10, 8 << 20, 32 << 20, 128 << 20} {
+		if c := indirectPerCS(m, RndRMW, s); c > 0 {
+			t.Errorf("rnd-rmw at %dKB = %v, want <= 0", s>>10, c)
+		}
+	}
+	// In the 1-4MB dead zone the residual cost is tiny compared to rnd-r.
+	rmw := indirectPerCS(m, RndRMW, 2<<20)
+	rr := indirectPerCS(m, RndRead, 2<<20)
+	if rmw > rr/4 {
+		t.Errorf("rnd-rmw mid-range cost %v should be far below rnd-r %v", rmw, rr)
+	}
+}
+
+func TestSequentialTranslationAmortized(t *testing.T) {
+	m := model()
+	seq := m.PerAccessNS(Footprint{Pattern: SeqRead, Bytes: 128 << 20}, 1)
+	rnd := m.PerAccessNS(Footprint{Pattern: RndRead, Bytes: 128 << 20}, 1)
+	if seq >= rnd/5 {
+		t.Errorf("sequential access %vns should be much cheaper than random %vns", seq, rnd)
+	}
+}
+
+func TestTraversalTimeScale(t *testing.T) {
+	// 64MB sequential traversal should land near the paper's 17.5ms.
+	m := model()
+	f := Footprint{Pattern: SeqRMW, Bytes: 64 << 20}
+	d := m.TraversalTime(f, 2)
+	if d < 3*sim.Millisecond || d > 40*sim.Millisecond {
+		t.Errorf("64MB seq traversal = %v, want O(10ms)", d)
+	}
+}
+
+func TestCoRunnerSharingReducesResidency(t *testing.T) {
+	m := model()
+	f := Footprint{Pattern: RndRead, Bytes: 256 << 10}
+	alone := m.PerAccessNS(f, 1)
+	shared := m.PerAccessNS(f, 4)
+	if shared <= alone {
+		t.Errorf("sharing the core must not improve steady access: alone %v shared %v", alone, shared)
+	}
+}
+
+// Property: per-access cost is non-negative, finite, and monotonically
+// non-decreasing in working-set size for random access.
+func TestPerAccessMonotoneProperty(t *testing.T) {
+	m := model()
+	f := func(a, b uint32) bool {
+		wsA := int64(a%(1<<20))*64 + 4096
+		wsB := int64(b%(1<<20))*64 + 4096
+		if wsA > wsB {
+			wsA, wsB = wsB, wsA
+		}
+		ca := m.PerAccessNS(Footprint{Pattern: RndRead, Bytes: wsA}, 1)
+		cb := m.PerAccessNS(Footprint{Pattern: RndRead, Bytes: wsB}, 1)
+		return ca >= 0 && cb >= 0 && ca <= cb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: switch cost is non-negative and bounded by the hierarchy size
+// (it can never exceed refilling the whole L3 plus writeback).
+func TestPerSwitchBoundedProperty(t *testing.T) {
+	m := model()
+	geo := m.Geo
+	bound := float64(geo.L3/geo.LineSize) * (m.SeqRefillPerLine + m.WritebackPerLine + m.L2RefillPerLine)
+	f := func(ws uint32, pat uint8) bool {
+		p := Pattern(int(pat%4) + 1)
+		c := float64(m.PerSwitchCost(Footprint{Pattern: p, Bytes: int64(ws)}))
+		return c >= 0 && c <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

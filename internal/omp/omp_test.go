@@ -1,0 +1,187 @@
+package omp
+
+import (
+	"testing"
+
+	"oversub/internal/futex"
+	"oversub/internal/hw"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+func testKernel(t *testing.T, ncpu int, feat sched.Features) (*sched.Kernel, *futex.Table) {
+	t.Helper()
+	eng := sim.NewEngine(123)
+	k := sched.New(eng, sched.Config{
+		Topo:  hw.Topology{Sockets: 2, CoresPerSocket: (ncpu + 1) / 2, ThreadsPerCore: 1},
+		NCPUs: ncpu,
+		Costs: sched.DefaultCosts(),
+		Feat:  feat,
+		Seed:  9,
+	})
+	return k, futex.NewTable(k, 0)
+}
+
+func runRegion(t *testing.T, ncpu, team, iters int, schedKind Schedule, feat sched.Features) ([]int, sim.Time) {
+	t.Helper()
+	k, tbl := testKernel(t, ncpu, feat)
+	hits := make([]int, iters)
+	byWorker := make([]int, team)
+	k.Spawn("master", func(th *sched.Thread) {
+		tm := NewTeam(tbl, team)
+		tm.ParallelFor(th, 0, iters, 4, schedKind, func(t *sched.Thread, w, i int) {
+			t.Run(20 * sim.Microsecond)
+			hits[i]++
+			byWorker[w]++
+		})
+		tm.Shutdown(th)
+	})
+	if err := k.RunToCompletion(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	// Static assigns every worker a fixed share; dynamic/guided may
+	// legitimately exhaust the work before slow-waking workers arrive.
+	if schedKind == Static {
+		for w, c := range byWorker {
+			if team > 1 && iters >= team*8 && c == 0 {
+				t.Errorf("worker %d did no iterations under %v", w, schedKind)
+			}
+		}
+	}
+	return hits, k.Now()
+}
+
+func TestParallelForCoversAllIterationsOnce(t *testing.T) {
+	for _, s := range []Schedule{Static, Dynamic, Guided} {
+		t.Run(s.String(), func(t *testing.T) {
+			hits, _ := runRegion(t, 4, 8, 200, s, sched.Features{})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("iteration %d executed %d times", i, h)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelForScales(t *testing.T) {
+	_, t1 := runRegion(t, 8, 1, 400, Static, sched.Features{})
+	_, t8 := runRegion(t, 8, 8, 400, Static, sched.Features{})
+	speedup := float64(t1) / float64(t8)
+	if speedup < 4 {
+		t.Errorf("8-worker speedup = %.1f, want near-linear", speedup)
+	}
+}
+
+func TestDynamicBalancesUnevenWork(t *testing.T) {
+	// Iterations have wildly different costs; dynamic scheduling should
+	// finish the region faster than static's fixed partitioning.
+	run := func(s Schedule) sim.Time {
+		k, tbl := testKernel(t, 4, sched.Features{})
+		k.Spawn("master", func(th *sched.Thread) {
+			tm := NewTeam(tbl, 4)
+			tm.ParallelFor(th, 0, 64, 1, s, func(t *sched.Thread, w, i int) {
+				d := 10 * sim.Microsecond
+				if i < 16 {
+					d = 200 * sim.Microsecond // the heavy prefix
+				}
+				t.Run(d)
+			})
+			tm.Shutdown(th)
+		})
+		if err := k.RunToCompletion(sim.Time(60 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now()
+	}
+	static := run(Static)
+	dynamic := run(Dynamic)
+	if float64(dynamic) > 0.8*float64(static) {
+		t.Errorf("dynamic (%v) did not beat static (%v) on uneven work", dynamic, static)
+	}
+}
+
+func TestMultipleRegionsReuseTeam(t *testing.T) {
+	k, tbl := testKernel(t, 4, sched.Features{})
+	total := 0
+	k.Spawn("master", func(th *sched.Thread) {
+		tm := NewTeam(tbl, 6)
+		for r := 0; r < 5; r++ {
+			tm.ParallelFor(th, 0, 60, 4, Dynamic, func(t *sched.Thread, w, i int) {
+				t.Run(10 * sim.Microsecond)
+				total++
+			})
+		}
+		tm.Shutdown(th)
+	})
+	if err := k.RunToCompletion(sim.Time(60 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if total != 300 {
+		t.Errorf("total = %d, want 300", total)
+	}
+}
+
+func TestOversubscribedTeamWithVB(t *testing.T) {
+	// A 16-worker team on 2 cores: region boundaries are broadcast
+	// wakeups, exactly the pattern VB accelerates.
+	run := func(vb bool) sim.Time {
+		k, tbl := testKernel(t, 2, sched.Features{VB: vb})
+		k.Spawn("master", func(th *sched.Thread) {
+			tm := NewTeam(tbl, 16)
+			for r := 0; r < 30; r++ {
+				tm.ParallelFor(th, 0, 64, 2, Static, func(t *sched.Thread, w, i int) {
+					t.Run(5 * sim.Microsecond)
+				})
+			}
+			tm.Shutdown(th)
+		})
+		if err := k.RunToCompletion(sim.Time(60 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now()
+	}
+	vanilla := run(false)
+	vb := run(true)
+	if vb >= vanilla {
+		t.Errorf("VB team (%v) not faster than vanilla (%v)", vb, vanilla)
+	}
+}
+
+func TestEmptyAndDegenerateRegions(t *testing.T) {
+	k, tbl := testKernel(t, 2, sched.Features{})
+	ran := 0
+	k.Spawn("master", func(th *sched.Thread) {
+		tm := NewTeam(tbl, 3)
+		tm.ParallelFor(th, 5, 5, 1, Static, func(t *sched.Thread, w, i int) { ran++ })   // empty
+		tm.ParallelFor(th, 0, 1, 99, Dynamic, func(t *sched.Thread, w, i int) { ran++ }) // single
+		tm.Shutdown(th)
+	})
+	if err := k.RunToCompletion(sim.Time(10 * sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+}
+
+func TestSingleThreadTeam(t *testing.T) {
+	k, tbl := testKernel(t, 1, sched.Features{})
+	sum := 0
+	k.Spawn("master", func(th *sched.Thread) {
+		tm := NewTeam(tbl, 1)
+		tm.ParallelFor(th, 0, 10, 1, Guided, func(t *sched.Thread, w, i int) {
+			if w != 0 {
+				panic("solo team must run everything on the master")
+			}
+			sum += i
+		})
+		tm.Shutdown(th)
+	})
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 45 {
+		t.Errorf("sum = %d, want 45", sum)
+	}
+}

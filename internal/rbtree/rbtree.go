@@ -1,0 +1,301 @@
+// Package rbtree implements a generic intrusive red-black tree.
+//
+// It is the data structure backing the simulated CFS runqueue: threads are
+// ordered by virtual runtime, the scheduler picks the leftmost node, and
+// nodes are removed in O(log n) through the handle returned by Insert.
+package rbtree
+
+const (
+	red   = false
+	black = true
+)
+
+// Node is a tree node holding a value of type V. It is returned by Insert as
+// a handle for later Delete.
+type Node[V any] struct {
+	Value               V
+	parent, left, right *Node[V]
+	color               bool
+}
+
+// Tree is a red-black tree ordered by a user-supplied less function.
+// The zero value is not usable; construct with New.
+type Tree[V any] struct {
+	root *Node[V]
+	size int
+	less func(a, b V) bool
+}
+
+// New returns an empty tree ordered by less. Values comparing equal under
+// less keep insertion-independent but stable positions (ties go right).
+func New[V any](less func(a, b V) bool) *Tree[V] {
+	return &Tree[V]{less: less}
+}
+
+// Len returns the number of nodes in the tree.
+func (t *Tree[V]) Len() int { return t.size }
+
+// Min returns the leftmost node, or nil if the tree is empty.
+func (t *Tree[V]) Min() *Node[V] {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n
+}
+
+// Max returns the rightmost node, or nil if the tree is empty.
+func (t *Tree[V]) Max() *Node[V] {
+	n := t.root
+	if n == nil {
+		return nil
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n
+}
+
+// Next returns the in-order successor of n, or nil.
+func (t *Tree[V]) Next(n *Node[V]) *Node[V] {
+	if n.right != nil {
+		n = n.right
+		for n.left != nil {
+			n = n.left
+		}
+		return n
+	}
+	p := n.parent
+	for p != nil && n == p.right {
+		n, p = p, p.parent
+	}
+	return p
+}
+
+// Insert adds value and returns its node handle.
+func (t *Tree[V]) Insert(value V) *Node[V] {
+	n := &Node[V]{Value: value, color: red}
+	var parent *Node[V]
+	link := &t.root
+	for *link != nil {
+		parent = *link
+		if t.less(value, parent.Value) {
+			link = &parent.left
+		} else {
+			link = &parent.right
+		}
+	}
+	n.parent = parent
+	*link = n
+	t.size++
+	t.insertFixup(n)
+	return n
+}
+
+// Delete removes node n from the tree. n must be in the tree.
+func (t *Tree[V]) Delete(n *Node[V]) {
+	t.size--
+	var child, parent *Node[V]
+	color := n.color
+
+	switch {
+	case n.left == nil:
+		child = n.right
+		parent = n.parent
+		t.transplant(n, n.right)
+	case n.right == nil:
+		child = n.left
+		parent = n.parent
+		t.transplant(n, n.left)
+	default:
+		// Successor is the min of the right subtree.
+		s := n.right
+		for s.left != nil {
+			s = s.left
+		}
+		color = s.color
+		child = s.right
+		if s.parent == n {
+			parent = s
+		} else {
+			parent = s.parent
+			t.transplant(s, s.right)
+			s.right = n.right
+			s.right.parent = s
+		}
+		t.transplant(n, s)
+		s.left = n.left
+		s.left.parent = s
+		s.color = n.color
+	}
+	if color == black {
+		t.deleteFixup(child, parent)
+	}
+	n.parent, n.left, n.right = nil, nil, nil
+}
+
+// Each visits every value in order. The tree must not be mutated during the
+// walk.
+func (t *Tree[V]) Each(fn func(V) bool) {
+	for n := t.Min(); n != nil; n = t.Next(n) {
+		if !fn(n.Value) {
+			return
+		}
+	}
+}
+
+func (t *Tree[V]) transplant(u, v *Node[V]) {
+	switch {
+	case u.parent == nil:
+		t.root = v
+	case u == u.parent.left:
+		u.parent.left = v
+	default:
+		u.parent.right = v
+	}
+	if v != nil {
+		v.parent = u.parent
+	}
+}
+
+func (t *Tree[V]) rotateLeft(x *Node[V]) {
+	y := x.right
+	x.right = y.left
+	if y.left != nil {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.left:
+		x.parent.left = y
+	default:
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[V]) rotateRight(x *Node[V]) {
+	y := x.left
+	x.left = y.right
+	if y.right != nil {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	switch {
+	case x.parent == nil:
+		t.root = y
+	case x == x.parent.right:
+		x.parent.right = y
+	default:
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+func (t *Tree[V]) insertFixup(n *Node[V]) {
+	for n.parent != nil && n.parent.color == red {
+		g := n.parent.parent
+		if n.parent == g.left {
+			u := g.right
+			if u != nil && u.color == red {
+				n.parent.color = black
+				u.color = black
+				g.color = red
+				n = g
+				continue
+			}
+			if n == n.parent.right {
+				n = n.parent
+				t.rotateLeft(n)
+			}
+			n.parent.color = black
+			g.color = red
+			t.rotateRight(g)
+		} else {
+			u := g.left
+			if u != nil && u.color == red {
+				n.parent.color = black
+				u.color = black
+				g.color = red
+				n = g
+				continue
+			}
+			if n == n.parent.left {
+				n = n.parent
+				t.rotateRight(n)
+			}
+			n.parent.color = black
+			g.color = red
+			t.rotateLeft(g)
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree[V]) deleteFixup(n, parent *Node[V]) {
+	for n != t.root && isBlack(n) {
+		if n == parent.left {
+			s := parent.right
+			if !isBlack(s) {
+				s.color = black
+				parent.color = red
+				t.rotateLeft(parent)
+				s = parent.right
+			}
+			if isBlack(s.left) && isBlack(s.right) {
+				s.color = red
+				n = parent
+				parent = n.parent
+			} else {
+				if isBlack(s.right) {
+					s.left.color = black
+					s.color = red
+					t.rotateRight(s)
+					s = parent.right
+				}
+				s.color = parent.color
+				parent.color = black
+				s.right.color = black
+				t.rotateLeft(parent)
+				n = t.root
+			}
+		} else {
+			s := parent.left
+			if !isBlack(s) {
+				s.color = black
+				parent.color = red
+				t.rotateRight(parent)
+				s = parent.left
+			}
+			if isBlack(s.right) && isBlack(s.left) {
+				s.color = red
+				n = parent
+				parent = n.parent
+			} else {
+				if isBlack(s.left) {
+					s.right.color = black
+					s.color = red
+					t.rotateLeft(s)
+					s = parent.left
+				}
+				s.color = parent.color
+				parent.color = black
+				s.left.color = black
+				t.rotateRight(parent)
+				n = t.root
+			}
+		}
+	}
+	if n != nil {
+		n.color = black
+	}
+}
+
+func isBlack[V any](n *Node[V]) bool { return n == nil || n.color == black }

@@ -1,0 +1,247 @@
+package rbtree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func intTree() *Tree[int] {
+	return New[int](func(a, b int) bool { return a < b })
+}
+
+func (t *Tree[V]) collect() []V {
+	var out []V
+	t.Each(func(v V) bool { out = append(out, v); return true })
+	return out
+}
+
+func TestInsertAndMin(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{5, 3, 8, 1, 9, 7} {
+		tr.Insert(v)
+	}
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	if got := tr.Min().Value; got != 1 {
+		t.Errorf("Min = %d, want 1", got)
+	}
+	if got := tr.Max().Value; got != 9 {
+		t.Errorf("Max = %d, want 9", got)
+	}
+}
+
+func TestInOrderWalk(t *testing.T) {
+	tr := intTree()
+	vals := []int{42, 17, 99, 3, 65, 17, 8, 42}
+	for _, v := range vals {
+		tr.Insert(v)
+	}
+	got := tr.collect()
+	want := append([]int(nil), vals...)
+	sort.Ints(want)
+	if len(got) != len(want) {
+		t.Fatalf("walk returned %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk[%d] = %d, want %d (%v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestDeleteByHandle(t *testing.T) {
+	tr := intTree()
+	nodes := make(map[int]*Node[int])
+	for _, v := range []int{10, 20, 30, 40, 50} {
+		nodes[v] = tr.Insert(v)
+	}
+	tr.Delete(nodes[30])
+	tr.Delete(nodes[10])
+	got := tr.collect()
+	want := []int{20, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := intTree()
+	if tr.Min() != nil || tr.Max() != nil || tr.Len() != 0 {
+		t.Error("empty tree should have nil Min/Max and Len 0")
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	tr := intTree()
+	for i := 0; i < 10; i++ {
+		tr.Insert(i)
+	}
+	visited := 0
+	tr.Each(func(v int) bool {
+		visited++
+		return v < 4
+	})
+	if visited != 5 {
+		t.Errorf("visited %d nodes, want 5 (stop when fn sees 4)", visited)
+	}
+}
+
+// checkInvariants verifies the red-black properties and BST ordering.
+func checkInvariants(t *testing.T, tr *Tree[int]) {
+	t.Helper()
+	if tr.root == nil {
+		return
+	}
+	if tr.root.color != black {
+		t.Fatal("root is not black")
+	}
+	var walk func(n *Node[int]) int // returns black height
+	walk = func(n *Node[int]) int {
+		if n == nil {
+			return 1
+		}
+		if n.color == red {
+			if !isBlack(n.left) || !isBlack(n.right) {
+				t.Fatal("red node has red child")
+			}
+		}
+		if n.left != nil {
+			if n.left.parent != n {
+				t.Fatal("broken parent link (left)")
+			}
+			if tr.less(n.Value, n.left.Value) {
+				t.Fatal("BST order violated (left)")
+			}
+		}
+		if n.right != nil {
+			if n.right.parent != n {
+				t.Fatal("broken parent link (right)")
+			}
+			if tr.less(n.right.Value, n.Value) {
+				t.Fatal("BST order violated (right)")
+			}
+		}
+		lh := walk(n.left)
+		rh := walk(n.right)
+		if lh != rh {
+			t.Fatal("unequal black heights")
+		}
+		if n.color == black {
+			return lh + 1
+		}
+		return lh
+	}
+	walk(tr.root)
+}
+
+// Property test: a random interleaving of inserts and handle-deletes keeps
+// the red-black invariants and matches a reference sorted multiset.
+func TestRandomOpsProperty(t *testing.T) {
+	f := func(ops []int16) bool {
+		tr := intTree()
+		var live []*Node[int]
+		var model []int
+		for _, op := range ops {
+			if op >= 0 || len(live) == 0 {
+				v := int(op)
+				live = append(live, tr.Insert(v))
+				model = append(model, v)
+			} else {
+				idx := int(uint16(op)) % len(live)
+				n := live[idx]
+				tr.Delete(n)
+				for i, mv := range model {
+					if mv == n.Value {
+						model = append(model[:i], model[i+1:]...)
+						break
+					}
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		got := tr.collect()
+		sort.Ints(model)
+		for i := range model {
+			if got[i] != model[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInvariantsUnderChurn(t *testing.T) {
+	tr := intTree()
+	var handles []*Node[int]
+	// Deterministic churn: insert 3, delete 1, repeatedly.
+	next := 0
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 3; i++ {
+			handles = append(handles, tr.Insert(next*7919%1000))
+			next++
+		}
+		idx := (round * 13) % len(handles)
+		tr.Delete(handles[idx])
+		handles = append(handles[:idx], handles[idx+1:]...)
+		if round%20 == 0 {
+			checkInvariants(t, tr)
+		}
+	}
+	checkInvariants(t, tr)
+	if tr.Len() != 400 {
+		t.Errorf("Len = %d, want 400", tr.Len())
+	}
+	// Drain fully.
+	for len(handles) > 0 {
+		tr.Delete(handles[len(handles)-1])
+		handles = handles[:len(handles)-1]
+	}
+	if tr.Len() != 0 || tr.Min() != nil {
+		t.Error("tree not empty after draining")
+	}
+	checkInvariants(t, tr)
+}
+
+func TestNextTraversal(t *testing.T) {
+	tr := intTree()
+	for _, v := range []int{50, 30, 70, 20, 40, 60, 80} {
+		tr.Insert(v)
+	}
+	var got []int
+	for n := tr.Min(); n != nil; n = tr.Next(n) {
+		got = append(got, n.Value)
+	}
+	want := []int{20, 30, 40, 50, 60, 70, 80}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Next walk = %v, want %v", got, want)
+		}
+	}
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	tr := intTree()
+	handles := make([]*Node[int], 0, 1024)
+	for i := 0; i < b.N; i++ {
+		handles = append(handles, tr.Insert(i*2654435761%100000))
+		if len(handles) >= 1024 {
+			for _, h := range handles {
+				tr.Delete(h)
+			}
+			handles = handles[:0]
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package sched simulates a multicore OS kernel scheduler in virtual time:
+// per-CPU CFS runqueues ordered by virtual runtime, time slices with a
+// minimum granularity, wakeup preemption, idlest-core selection, periodic
+// and idle load balancing with NUMA-aware migration costs, and dynamic
+// cpusets (CPU elasticity).
+//
+// It implements both the vanilla Linux mechanisms whose inefficiencies the
+// paper measures (sleep/wakeup through wait queues, runqueue lock
+// serialization, load flapping) and the paper's virtual blocking: blocked
+// threads stay on the runqueue carrying a thread_state flag, sorted behind
+// all runnable threads, and wake by a flag clear instead of the full wakeup
+// path.
+//
+// Simulated threads are Go closures run as coroutines; they issue kernel
+// requests (Run, SpinUntil, Block, ...) and the kernel charges CPU time,
+// injects context switches and preemptions, and updates the per-core
+// architectural observables (LBR, PMCs) that busy-waiting detection reads.
+package sched
+
+import "oversub/internal/sim"
+
+// Costs centralizes every latency constant of the simulated kernel so that
+// experiments and ablations can vary them. All values are virtual time.
+type Costs struct {
+	// ContextSwitch is the direct cost of switching threads on a core:
+	// user/kernel mode transitions, runqueue bookkeeping, and register
+	// state. The paper measures 1.5 us on Broadwell, constant in thread
+	// count.
+	ContextSwitch sim.Duration
+
+	// SchedLatency is the CFS target latency: a runqueue's threads should
+	// all run within this period, so a thread's slice is SchedLatency
+	// divided by the number of runnable threads...
+	SchedLatency sim.Duration
+	// ...but never below MinGranularity (750 us in the paper's kernel).
+	MinGranularity sim.Duration
+	// WakeupGranularity limits wakeup preemption: a waking thread preempts
+	// only if it is behind the running thread by more than this.
+	WakeupGranularity sim.Duration
+	// VBWakeGranularity is the (much tighter) preemption granularity for
+	// threads waking from virtual blocking: the paper schedules them
+	// immediately, like prioritized real wakeups.
+	VBWakeGranularity sim.Duration
+	// SleeperBonus places woken threads slightly before the runqueue's
+	// minimum vruntime so interactive threads are favoured.
+	SleeperBonus sim.Duration
+
+	// SyscallEntry is the user-to-kernel transition paid by futex/epoll
+	// calls that cannot be satisfied in user space.
+	SyscallEntry sim.Duration
+	// BucketLockHold is the time a futex hash-bucket lock is held.
+	BucketLockHold sim.Duration
+	// WakeQMove is the per-waiter cost of moving a thread from the bucket
+	// queue to the temporary wake_q.
+	WakeQMove sim.Duration
+	// SelectCoreBase/SelectCoreScan model choosing the idlest allowed core
+	// for a wakeup: a fixed part plus a per-candidate scan.
+	SelectCoreBase sim.Duration
+	SelectCoreScan sim.Duration
+	// RQLockHold is the time a remote runqueue lock is held to enqueue a
+	// woken thread.
+	RQLockHold sim.Duration
+	// Enqueue is the cost of inserting a thread into a runqueue.
+	Enqueue sim.Duration
+	// PreemptIPI is the cost of interrupting a core to preempt its
+	// current thread for a wakeup.
+	PreemptIPI sim.Duration
+	// SleepDequeue is the cost of the vanilla sleep path: removing the
+	// thread from the runqueue and the runnable->sleep state transition.
+	SleepDequeue sim.Duration
+
+	// VBBlock is the cost of virtual blocking: setting thread_state and
+	// moving the thread to the runqueue tail.
+	VBBlock sim.Duration
+	// VBWake is the cost of waking from virtual blocking: clearing the
+	// flag and restoring the thread's position.
+	VBWake sim.Duration
+	// FlagCheck is the cost of one blocked thread briefly running to check
+	// its thread_state when every thread on a core is virtually blocked.
+	FlagCheck sim.Duration
+
+	// SpinExitLatency is how long a running spinner takes to observe a
+	// released lock word.
+	SpinExitLatency sim.Duration
+
+	// MigrationInNode and MigrationCrossNode are fixed warm-state penalties
+	// charged to a migrated thread on top of its footprint refill, the
+	// cross-node variant covering remote-socket cache misses.
+	MigrationInNode    sim.Duration
+	MigrationCrossNode sim.Duration
+
+	// BalanceInterval is the period of each CPU's load-balancing tick.
+	BalanceInterval sim.Duration
+
+	// SMTFactor is the fraction of full-core throughput a hyper-thread
+	// retains while its sibling is busy.
+	SMTFactor float64
+}
+
+// DefaultCosts returns the paper-calibrated cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		ContextSwitch:      1500 * sim.Nanosecond,
+		SchedLatency:       3 * sim.Millisecond,
+		MinGranularity:     750 * sim.Microsecond,
+		WakeupGranularity:  1 * sim.Millisecond,
+		VBWakeGranularity:  400 * sim.Microsecond,
+		SleeperBonus:       1500 * sim.Microsecond,
+		SyscallEntry:       300 * sim.Nanosecond,
+		BucketLockHold:     150 * sim.Nanosecond,
+		WakeQMove:          300 * sim.Nanosecond,
+		SelectCoreBase:     900 * sim.Nanosecond,
+		SelectCoreScan:     30 * sim.Nanosecond,
+		RQLockHold:         500 * sim.Nanosecond,
+		Enqueue:            500 * sim.Nanosecond,
+		PreemptIPI:         800 * sim.Nanosecond,
+		SleepDequeue:       700 * sim.Nanosecond,
+		VBBlock:            80 * sim.Nanosecond,
+		VBWake:             150 * sim.Nanosecond,
+		FlagCheck:          1800 * sim.Nanosecond,
+		SpinExitLatency:    30 * sim.Nanosecond,
+		MigrationInNode:    3 * sim.Microsecond,
+		MigrationCrossNode: 10 * sim.Microsecond,
+		BalanceInterval:    4 * sim.Millisecond,
+		SMTFactor:          0.62,
+	}
+}
+
+// Features selects which kernel mechanisms are active for a run.
+type Features struct {
+	// VB enables virtual blocking in futex and epoll.
+	VB bool
+	// Pinned pins threads to CPUs round-robin at spawn and disables load
+	// balancing and wakeup migration.
+	Pinned bool
+	// VM marks the kernel as running inside a virtual machine, which is
+	// the only environment where PLE can observe PAUSE loops.
+	VM bool
+}

@@ -1,0 +1,1076 @@
+package sched
+
+import (
+	"fmt"
+
+	"oversub/internal/hw"
+	"oversub/internal/mem"
+	"oversub/internal/rbtree"
+	"oversub/internal/sim"
+)
+
+type rqNode = *rbtree.Node[*Thread]
+
+type segKind int
+
+const (
+	segNone segKind = iota
+	segOverhead
+	segRun
+	segTight
+	segSpin
+)
+
+// cpu is one logical CPU: its runqueue, its current thread, and the open
+// accounting segment.
+type cpu struct {
+	id      int
+	enabled bool
+
+	tree      *rbtree.Tree[*Thread]
+	nrBlocked int // virtually blocked threads in the tree
+
+	curr      *Thread
+	currStart sim.Time // when curr was dispatched
+	lastRan   *Thread  // for context-switch and warmup charging
+	minV      sim.Duration
+
+	segStart sim.Time
+	segSpeed float64 // CPU-time per wall-time during the open segment
+	segKind  segKind
+	segEv    *sim.Event
+	sliceEv  *sim.Event
+
+	overhead sim.Duration // pending kernel overhead before the op resumes
+
+	lock        *KLock // runqueue lock taken by remote wakers
+	dispatchSeq uint64
+	blockedSeq  uint64
+
+	vbIdle        bool // every queued thread is virtually blocked
+	vbExitPending bool
+
+	schedQueued bool
+	balanceEv   *sim.Event
+
+	busy     sim.Duration
+	busyMark sim.Time
+	isBusy   bool
+
+	core *hw.Core
+}
+
+// runnable returns the number of schedulable entities on the CPU (queued
+// plus current). Virtually blocked threads count — that is the point of VB:
+// the load signal stays stable.
+func (c *cpu) runnable() int {
+	n := c.tree.Len()
+	if c.curr != nil {
+		n++
+	}
+	return n
+}
+
+// eligible returns runnable entities excluding virtually blocked threads.
+func (c *cpu) eligible() int { return c.runnable() - c.nrBlocked }
+
+func (c *cpu) markBusy(now sim.Time) {
+	if !c.isBusy {
+		c.isBusy = true
+		c.busyMark = now
+	}
+}
+
+func (c *cpu) markIdle(now sim.Time) {
+	if c.isBusy {
+		c.busy += now.Sub(c.busyMark)
+		c.isBusy = false
+	}
+}
+
+// Metrics aggregates kernel-level counters for one run.
+type Metrics struct {
+	VolCS               uint64
+	InvolCS             uint64
+	MigrationsInNode    uint64
+	MigrationsCrossNode uint64
+	Wakeups             uint64
+	VBWakes             uint64
+	BWDDeschedules      uint64
+	PLEExits            uint64
+	FutexWaits          uint64
+	FutexWakes          uint64
+	EpollWaits          uint64
+	EpollPosts          uint64
+}
+
+// Config assembles a kernel.
+type Config struct {
+	Topo  hw.Topology
+	NCPUs int // size of the initial cpuset (allowed CPUs)
+	Costs Costs
+	Feat  Features
+	Mem   *mem.Model // nil for a default model with paper geometry
+	Seed  uint64
+}
+
+// Kernel is the simulated OS kernel: scheduler state plus the hardware
+// observables of every core.
+type Kernel struct {
+	eng      *sim.Engine
+	topo     hw.Topology
+	costs    Costs
+	feat     Features
+	memModel *mem.Model
+	rng      *sim.Rand
+
+	cpus     []*cpu
+	nAllowed int
+
+	threads []*Thread
+	live    int
+	nextPin int
+
+	stopWhenIdle bool
+
+	kernProfile hw.ExecProfile
+
+	tracer Tracer
+
+	// Metrics accumulates counters over the run.
+	Metrics Metrics
+}
+
+// Tracer receives scheduling events as they happen; see internal/trace for
+// a ring-buffer implementation. A nil tracer costs nothing.
+type Tracer interface {
+	Trace(at sim.Time, cpu, thread int, kind string, arg int64)
+}
+
+// SetTracer installs (or, with nil, removes) the kernel's event tracer.
+func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+
+// trace emits one event if a tracer is installed.
+func (k *Kernel) trace(cpu int, t *Thread, kind string, arg int64) {
+	if k.tracer == nil {
+		return
+	}
+	tid := -1
+	if t != nil {
+		tid = t.ID
+	}
+	k.tracer.Trace(k.eng.Now(), cpu, tid, kind, arg)
+}
+
+// New builds a kernel on top of engine eng.
+func New(eng *sim.Engine, cfg Config) *Kernel {
+	if err := cfg.Topo.Validate(); err != nil {
+		panic(err)
+	}
+	total := cfg.Topo.NumCPUs()
+	if cfg.NCPUs <= 0 || cfg.NCPUs > total {
+		cfg.NCPUs = total
+	}
+	if cfg.Mem == nil {
+		cfg.Mem = mem.NewModel(hw.PaperCaches())
+	}
+	k := &Kernel{
+		eng:      eng,
+		topo:     cfg.Topo,
+		costs:    cfg.Costs,
+		feat:     cfg.Feat,
+		memModel: cfg.Mem,
+		rng:      sim.NewRand(cfg.Seed ^ 0x5eed),
+		// Kernel code (context switches, IRQs) touches scattered data.
+		kernProfile: hw.ExecProfile{InstPerUS: 2000, InstPerL1Miss: 30, InstPerTLBMiss: 400, InstPerBranch: 5},
+	}
+	k.cpus = make([]*cpu, total)
+	for i := range k.cpus {
+		c := &cpu{
+			id:      i,
+			enabled: i < cfg.NCPUs,
+			tree:    rbtree.New[*Thread](threadLess),
+			core:    &hw.Core{ID: i},
+		}
+		c.lock = k.NewKLock(uint64(i))
+		k.cpus[i] = c
+	}
+	k.nAllowed = cfg.NCPUs
+	for _, c := range k.cpus {
+		k.armBalance(c)
+	}
+	return k
+}
+
+func threadLess(a, b *Thread) bool {
+	if a.vblocked != b.vblocked {
+		return !a.vblocked
+	}
+	if a.vblocked {
+		return a.blockedKey < b.blockedKey
+	}
+	if a.vruntime != b.vruntime {
+		return a.vruntime < b.vruntime
+	}
+	return a.ID < b.ID
+}
+
+// Engine returns the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() sim.Time { return k.eng.Now() }
+
+// Costs returns the kernel's cost table.
+func (k *Kernel) Costs() Costs { return k.costs }
+
+// Features returns the kernel's feature set.
+func (k *Kernel) Features() Features { return k.feat }
+
+// MemModel returns the memory cost model.
+func (k *Kernel) MemModel() *mem.Model { return k.memModel }
+
+// Topology returns the machine topology.
+func (k *Kernel) Topology() hw.Topology { return k.topo }
+
+// AllowedCPUs returns the current cpuset size.
+func (k *Kernel) AllowedCPUs() int { return k.nAllowed }
+
+// Core exposes the architectural observables of CPU id (for BWD).
+func (k *Kernel) Core(id int) *hw.Core { return k.cpus[id].core }
+
+// Live returns the number of spawned, unfinished threads.
+func (k *Kernel) Live() int { return k.live }
+
+// Rand returns the kernel's random source (distinct from the engine's).
+func (k *Kernel) Rand() *sim.Rand { return k.rng }
+
+// TotalBusy sums the busy time of all CPUs up to now.
+func (k *Kernel) TotalBusy() sim.Duration {
+	var total sim.Duration
+	now := k.eng.Now()
+	for _, c := range k.cpus {
+		total += c.busy
+		if c.isBusy {
+			total += now.Sub(c.busyMark)
+		}
+	}
+	return total
+}
+
+// Spawn creates a thread running body and enqueues it. The body executes as
+// a coroutine; it must only interact with the simulation through the Thread
+// API and other simulated objects.
+func (k *Kernel) Spawn(name string, body func(*Thread)) *Thread {
+	t := &Thread{
+		ID:        len(k.threads),
+		Name:      name,
+		k:         k,
+		pinned:    -1,
+		state:     StateNew,
+		Profile:   hw.PaperMeanProfile(),
+		spawnTime: k.eng.Now(),
+	}
+	t.req = request{kind: reqNew}
+	t.proc = k.eng.NewProc(func(p *sim.Proc) { body(t) })
+	k.threads = append(k.threads, t)
+	k.live++
+	if k.live == 1 {
+		// Re-arm balance ticks for kernels reused across workload batches.
+		for _, c := range k.cpus {
+			if c.balanceEv == nil || !c.balanceEv.Active() {
+				k.armBalance(c)
+			}
+		}
+	}
+
+	var target int
+	if k.feat.Pinned {
+		target = k.pinNext()
+		t.pinned = target
+	} else {
+		target = k.idlestCPU(-1)
+	}
+	t.cpu = target
+	c := k.cpus[target]
+	t.vruntime = c.minV
+	k.enqueue(c, t)
+	k.reschedule(c)
+	return t
+}
+
+func (k *Kernel) pinNext() int {
+	for {
+		id := k.nextPin % len(k.cpus)
+		k.nextPin++
+		if k.cpus[id].enabled {
+			return id
+		}
+	}
+}
+
+// idlestCPU returns the enabled CPU with the fewest eligible (non-blocked)
+// runnable threads, preferring the node of prevCPU (-1 for no preference)
+// and lower ids.
+func (k *Kernel) idlestCPU(prevCPU int) int {
+	best := -1
+	bestLoad := int(^uint(0) >> 1)
+	bestSameNode := false
+	for _, c := range k.cpus {
+		if !c.enabled {
+			continue
+		}
+		load := c.eligible()
+		sameNode := prevCPU >= 0 && k.topo.SameNode(c.id, prevCPU)
+		if load < bestLoad || (load == bestLoad && sameNode && !bestSameNode) {
+			best = c.id
+			bestLoad = load
+			bestSameNode = sameNode
+		}
+	}
+	if best < 0 {
+		panic("sched: no enabled CPUs")
+	}
+	return best
+}
+
+// enqueue inserts t into c's runqueue. The caller is responsible for
+// migration accounting and vruntime placement.
+func (k *Kernel) enqueue(c *cpu, t *Thread) {
+	if t.node != nil {
+		panic(fmt.Sprintf("sched: %v already enqueued", t))
+	}
+	t.cpu = c.id
+	t.state = StateRunnable
+	t.node = c.tree.Insert(t)
+	if t.vblocked {
+		c.nrBlocked++
+	}
+	if c.vbIdle && !t.vblocked {
+		k.exitVBIdle(c)
+	}
+}
+
+// dequeue removes t from its runqueue.
+func (k *Kernel) dequeue(t *Thread) {
+	c := k.cpus[t.cpu]
+	if t.node == nil {
+		panic(fmt.Sprintf("sched: %v not enqueued", t))
+	}
+	c.tree.Delete(t.node)
+	t.node = nil
+	if t.vblocked {
+		c.nrBlocked--
+	}
+}
+
+// reschedule requests a dispatch pass on c at the current time, coalescing
+// duplicates.
+func (k *Kernel) reschedule(c *cpu) {
+	if c.schedQueued {
+		return
+	}
+	c.schedQueued = true
+	k.eng.After(0, func() {
+		c.schedQueued = false
+		k.schedule(c)
+	})
+}
+
+// pickNext returns the next eligible thread on c, honouring BWD skip flags;
+// nil if only virtually blocked (or no) threads remain.
+func (k *Kernel) pickNext(c *cpu) *Thread {
+	var fallback *Thread
+	for n := c.tree.Min(); n != nil; n = c.tree.Next(n) {
+		t := n.Value
+		if t.vblocked {
+			break // blocked threads sort last; nothing eligible beyond
+		}
+		if t.skipUntil > c.dispatchSeq {
+			if fallback == nil {
+				fallback = t
+			}
+			continue
+		}
+		return t
+	}
+	return fallback
+}
+
+// schedule dispatches the next thread on c if it is not running one.
+func (k *Kernel) schedule(c *cpu) {
+	if !c.enabled || c.curr != nil {
+		return
+	}
+	next := k.pickNext(c)
+	if next == nil {
+		// Effectively idle (empty, or only virtually blocked threads):
+		// try to pull real load from the busiest CPU first.
+		if k.idlePull(c) {
+			next = k.pickNext(c)
+		}
+		if next == nil {
+			if c.tree.Len() > 0 {
+				// Every queued thread is virtually blocked: the CPU cycles
+				// through them checking thread_state flags. We model the
+				// cycle as busy time and impose its latency when a flag
+				// clears.
+				if !c.vbIdle {
+					c.vbIdle = true
+					c.markBusy(k.eng.Now())
+				}
+				return
+			}
+			c.vbIdle = false
+			c.markIdle(k.eng.Now())
+			return
+		}
+	}
+	c.vbIdle = false
+	k.dequeue(next)
+	next.state = StateRunning
+	c.curr = next
+	c.currStart = k.eng.Now()
+	c.dispatchSeq++
+	c.markBusy(k.eng.Now())
+	if next.vruntime > c.minV {
+		c.minV = next.vruntime
+	}
+	if c.lastRan != next {
+		c.overhead += k.costs.ContextSwitch + next.warm
+		next.warm = 0
+		if !next.Footprint.Zero() {
+			c.overhead += k.memModel.PerSwitchCost(next.Footprint)
+		}
+	}
+	c.lastRan = next
+	k.trace(c.id, next, "dispatch", int64(c.eligible()))
+	k.armSlice(c)
+	k.execute(c)
+}
+
+// armSlice installs the slice-expiry timer for the current thread.
+func (k *Kernel) armSlice(c *cpu) {
+	if c.sliceEv != nil {
+		c.sliceEv.Cancel()
+	}
+	n := c.eligible()
+	if n < 1 {
+		n = 1
+	}
+	slice := k.costs.SchedLatency / sim.Duration(n)
+	if slice < k.costs.MinGranularity {
+		slice = k.costs.MinGranularity
+	}
+	c.sliceEv = k.eng.After(slice, func() { k.sliceExpire(c) })
+}
+
+// speed returns the CPU-time-per-wall-time factor of c, reduced when its
+// SMT sibling is busy.
+func (k *Kernel) speed(c *cpu) float64 {
+	if k.topo.ThreadsPerCore < 2 {
+		return 1
+	}
+	for _, sib := range k.topo.SiblingsOf(c.id) {
+		if sib != c.id && k.cpus[sib].isBusy {
+			return k.costs.SMTFactor
+		}
+	}
+	return 1
+}
+
+// wallFor converts CPU time into wall time at c's current speed, rounding
+// up so charged segments never undershoot.
+func (k *Kernel) wallFor(c *cpu, d sim.Duration) sim.Duration {
+	sp := k.speed(c)
+	if sp >= 1 {
+		return d
+	}
+	return sim.Duration(float64(d)/sp) + 1
+}
+
+// openSegment starts an accounting segment of the given kind.
+func (k *Kernel) openSegment(c *cpu, kind segKind) {
+	c.segStart = k.eng.Now()
+	c.segSpeed = k.speed(c)
+	c.segKind = kind
+}
+
+// closeSegment charges the open segment to the current thread and the
+// core's observables.
+func (k *Kernel) closeSegment(c *cpu) {
+	if c.segKind == segNone {
+		return
+	}
+	if c.segEv != nil {
+		c.segEv.Cancel()
+		c.segEv = nil
+	}
+	t := c.curr
+	wall := k.eng.Now().Sub(c.segStart)
+	cpuT := sim.Duration(float64(wall) * c.segSpeed)
+	switch c.segKind {
+	case segOverhead:
+		c.overhead -= cpuT
+		if c.overhead < 5 {
+			c.overhead = 0
+		}
+		c.core.AccountCompute(cpuT, k.kernProfile, k.rng)
+		if t != nil {
+			t.vruntime += t.scaleByWeight(cpuT)
+			t.CPUTime += cpuT
+		}
+	case segRun:
+		t.req.remaining -= cpuT
+		if t.req.remaining < 0 {
+			t.req.remaining = 0
+		}
+		t.CPUTime += cpuT
+		t.vruntime += t.scaleByWeight(cpuT)
+		c.core.AccountCompute(cpuT, t.Profile, k.rng)
+	case segTight:
+		t.req.remaining -= cpuT
+		if t.req.remaining < 0 {
+			t.req.remaining = 0
+		}
+		t.CPUTime += cpuT
+		t.vruntime += t.scaleByWeight(cpuT)
+		c.core.AccountTightLoop(cpuT, tightBranchFor(t), t.req.loopIter)
+	case segSpin:
+		t.CPUTime += cpuT
+		t.SpinTime += cpuT
+		t.vruntime += t.scaleByWeight(cpuT)
+		c.core.AccountSpin(cpuT, t.req.sig)
+	}
+	c.segKind = segNone
+}
+
+// tightBranchFor gives each thread's tight loops a stable synthetic address.
+func tightBranchFor(t *Thread) hw.BranchRecord {
+	base := 0x700000 + uint64(t.ID)*0x1000
+	return hw.BranchRecord{From: base + 20, To: base}
+}
+
+// execute serves the current thread's pending request.
+func (k *Kernel) execute(c *cpu) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	if c.overhead > 0 {
+		k.openSegment(c, segOverhead)
+		c.segEv = k.eng.After(k.wallFor(c, c.overhead), func() {
+			k.closeSegment(c)
+			k.execute(c)
+		})
+		return
+	}
+	r := &t.req
+	switch r.kind {
+	case reqNew, reqYield, reqBlock, reqVBlock, reqSleep:
+		// Directives take effect at park time; being dispatched again means
+		// the wait is over. Resume the body for its next request.
+		k.advance(c)
+	case reqRun:
+		k.openSegment(c, segRun)
+		epoch := r.epoch
+		c.segEv = k.eng.After(k.wallFor(c, r.remaining), func() { k.finishRun(c, t, epoch) })
+	case reqTight:
+		k.openSegment(c, segTight)
+		epoch := r.epoch
+		c.segEv = k.eng.After(k.wallFor(c, r.remaining), func() { k.finishRun(c, t, epoch) })
+	case reqSpin:
+		r.completing = false
+		k.openSegment(c, segSpin)
+		epoch := r.epoch
+		if r.cond() {
+			r.completing = true
+			c.segEv = k.eng.After(k.costs.SpinExitLatency, func() { k.finishSpin(c, t, epoch) })
+			return
+		}
+		if r.deadline > 0 {
+			now := k.eng.Now()
+			wait := r.deadline.Sub(now)
+			if wait < sim.Duration(k.costs.SpinExitLatency) {
+				wait = sim.Duration(k.costs.SpinExitLatency)
+			}
+			c.segEv = k.eng.After(wait, func() { k.finishSpinDeadline(c, t, epoch) })
+		}
+		// Otherwise the spin burns CPU until a Kick, slice expiry, or BWD.
+	}
+}
+
+// finishRun completes a Run/RunTight request.
+func (k *Kernel) finishRun(c *cpu, t *Thread, epoch uint64) {
+	if c.curr != t || t.req.epoch != epoch {
+		return
+	}
+	k.closeSegment(c)
+	t.req.remaining = 0
+	k.advance(c)
+}
+
+// finishSpin completes a spin whose condition was observed true.
+func (k *Kernel) finishSpin(c *cpu, t *Thread, epoch uint64) {
+	if c.curr != t || t.req.epoch != epoch || t.req.kind != reqSpin {
+		return
+	}
+	if !t.req.cond() {
+		// The condition flipped back (e.g. another spinner won the lock);
+		// keep spinning.
+		k.closeSegment(c)
+		k.execute(c)
+		return
+	}
+	k.closeSegment(c)
+	k.advance(c)
+}
+
+// finishSpinDeadline ends a timed spin whose deadline passed; unlike
+// finishSpin it completes regardless of the condition.
+func (k *Kernel) finishSpinDeadline(c *cpu, t *Thread, epoch uint64) {
+	if c.curr != t || t.req.epoch != epoch || t.req.kind != reqSpin {
+		return
+	}
+	k.closeSegment(c)
+	k.advance(c)
+}
+
+// Kick re-evaluates the spin conditions of threads currently spinning on a
+// CPU. Word mutations call it automatically.
+func (k *Kernel) Kick() {
+	for _, c := range k.cpus {
+		t := c.curr
+		if t == nil || t.req.kind != reqSpin || t.req.completing || c.segKind != segSpin {
+			continue
+		}
+		if t.req.cond() {
+			t.req.completing = true
+			epoch := t.req.epoch
+			tt, cc := t, c
+			c.segEv = k.eng.After(k.costs.SpinExitLatency, func() { k.finishSpin(cc, tt, epoch) })
+		}
+	}
+}
+
+// advance resumes the thread body to obtain its next request, then serves
+// it (or handles exit/descheduling directives applied during the switch).
+func (k *Kernel) advance(c *cpu) {
+	t := c.curr
+	t.proc.Switch()
+	if t.proc.Finished() {
+		k.exitThread(c, t)
+		return
+	}
+	if c.curr != t {
+		// The new request was a descheduling directive; the CPU was already
+		// released inside applyDirective.
+		return
+	}
+	// The slice timer can have been consumed by an expiry that coincided
+	// with the previous request's completion; the thread must never run a
+	// new request without one, or a spin would occupy the CPU forever.
+	if c.sliceEv == nil || !c.sliceEv.Active() {
+		k.armSlice(c)
+	}
+	k.execute(c)
+}
+
+// exitThread retires a finished thread.
+func (k *Kernel) exitThread(c *cpu, t *Thread) {
+	k.trace(c.id, t, "exit", 0)
+	t.state = StateExited
+	t.exitTime = k.eng.Now()
+	c.curr = nil
+	c.lastRan = nil
+	if c.sliceEv != nil {
+		c.sliceEv.Cancel()
+		c.sliceEv = nil
+	}
+	k.live--
+	if k.live == 0 && k.stopWhenIdle {
+		k.eng.Stop()
+		return
+	}
+	c.markIdle(k.eng.Now())
+	k.reschedule(c)
+}
+
+// applyDirective handles a freshly parked request that deschedules the
+// thread. It runs on the proc goroutine, inside the engine's Switch window.
+func (k *Kernel) applyDirective(t *Thread) {
+	c := k.cpus[t.cpu]
+	if c.curr != t {
+		panic(fmt.Sprintf("sched: %v parked while not current", t))
+	}
+	switch t.req.kind {
+	case reqRun, reqTight, reqSpin:
+		// Timed requests are served by execute after the switch returns.
+		return
+	case reqYield:
+		c.overhead += k.costs.SyscallEntry
+		k.offCPU(c, t, true)
+		k.enqueue(c, t)
+		k.reschedule(c)
+	case reqBlock:
+		k.offCPU(c, t, true)
+		t.state = StateSleeping
+		k.trace(c.id, t, "block", 0)
+		k.reschedule(c)
+	case reqVBlock:
+		k.offCPU(c, t, true)
+		t.vblocked = true
+		k.trace(c.id, t, "vblock", 0)
+		c.blockedSeq++
+		t.blockedKey = c.blockedSeq
+		k.enqueue(c, t)
+		k.reschedule(c)
+	case reqSleep:
+		k.offCPU(c, t, true)
+		t.state = StateSleeping
+		d := t.req.sleep
+		k.eng.After(d, func() { k.timerWake(t) })
+		k.reschedule(c)
+	default:
+		panic("sched: invalid parked request")
+	}
+}
+
+// offCPU removes the current thread from c, counting the context switch.
+func (k *Kernel) offCPU(c *cpu, t *Thread, voluntary bool) {
+	if c.curr != t {
+		panic("sched: offCPU of non-current thread")
+	}
+	k.closeSegment(c)
+	if c.sliceEv != nil {
+		c.sliceEv.Cancel()
+		c.sliceEv = nil
+	}
+	c.curr = nil
+	if voluntary {
+		t.VolCS++
+		k.Metrics.VolCS++
+	} else {
+		t.InvolCS++
+		k.Metrics.InvolCS++
+	}
+	c.markIdle(k.eng.Now())
+}
+
+// sliceExpire handles the end of the current thread's time slice.
+func (k *Kernel) sliceExpire(c *cpu) {
+	t := c.curr
+	if t == nil {
+		return
+	}
+	c.sliceEv = nil
+	k.closeSegment(c)
+	if t.req.kind == reqRun || t.req.kind == reqTight {
+		if t.req.remaining <= 0 {
+			// Completed exactly at the slice edge.
+			k.advance(c)
+			return
+		}
+	}
+	// Kernel critical sections are not preemptible; renew and continue.
+	if t.req.noPreempt {
+		k.armSlice(c)
+		k.execute(c)
+		return
+	}
+	// Anyone else to run?
+	if c.eligible() <= 1 && c.tree.Len() == c.nrBlocked {
+		// Alone (or only blocked peers): renew the slice and continue.
+		k.armSlice(c)
+		k.execute(c)
+		return
+	}
+	k.trace(c.id, t, "slice-end", 0)
+	k.offCPU(c, t, false)
+	k.enqueue(c, t)
+	k.reschedule(c)
+}
+
+// Preempt forces the current thread of CPU id off, optionally setting the
+// BWD skip flag so it is not rescheduled until its peers have each run.
+// It is the action arm of busy-waiting detection and PLE.
+func (k *Kernel) Preempt(cpuID int, skip bool) {
+	c := k.cpus[cpuID]
+	t := c.curr
+	if t == nil || t.req.noPreempt {
+		return
+	}
+	k.closeSegment(c)
+	if skip {
+		others := uint64(c.tree.Len() - c.nrBlocked)
+		t.skipUntil = c.dispatchSeq + others
+		t.BWDHits++
+		k.Metrics.BWDDeschedules++
+		k.trace(c.id, t, "bwd-deschedule", int64(others))
+	} else {
+		k.Metrics.PLEExits++
+		k.trace(c.id, t, "ple-exit", 0)
+	}
+	k.offCPU(c, t, false)
+	k.enqueue(c, t)
+	k.reschedule(c)
+}
+
+// SyncWindow flushes the open accounting segment on a CPU so that the
+// core's LBR and PMC state reflect all activity up to the current instant.
+// Detector timers call it before reading the observables, mirroring how a
+// real timer interrupt naturally samples committed architectural state.
+func (k *Kernel) SyncWindow(cpuID int) {
+	c := k.cpus[cpuID]
+	if c.curr == nil || c.segKind == segNone {
+		return
+	}
+	k.closeSegment(c)
+	k.execute(c)
+}
+
+// CurrentlySpinning reports ground truth about CPU id for detector
+// accounting (never used by detection logic itself): whether the running
+// thread is busy-waiting (user or kernel spin) and whether its loop
+// contains PAUSE.
+func (k *Kernel) CurrentlySpinning(cpuID int) (spinning, hasPause bool) {
+	c := k.cpus[cpuID]
+	t := c.curr
+	if t == nil || t.req.kind != reqSpin {
+		return false, false
+	}
+	return true, t.req.sig.HasPause
+}
+
+// exitVBIdle schedules the dispatch that follows a flag clear while the CPU
+// was cycling through virtually blocked threads. The latency models half a
+// round of flag checks; the cycling itself is busy time.
+func (k *Kernel) exitVBIdle(c *cpu) {
+	if c.vbExitPending {
+		return
+	}
+	c.vbExitPending = true
+	lat := k.costs.FlagCheck * sim.Duration(c.nrBlocked/2+1)
+	k.eng.After(lat, func() {
+		c.vbExitPending = false
+		c.vbIdle = false
+		if c.curr == nil && c.tree.Len() == c.nrBlocked && c.tree.Len() > 0 {
+			// Everything blocked again in the meantime.
+			c.vbIdle = true
+			return
+		}
+		if c.curr == nil {
+			c.markIdle(k.eng.Now())
+		}
+		k.schedule(c)
+	})
+}
+
+// timerWake wakes a thread from a timed sleep: a cheap local wakeup from
+// interrupt context (no waker thread to charge).
+func (k *Kernel) timerWake(t *Thread) {
+	if t.state != StateSleeping {
+		return
+	}
+	target := t.cpu
+	if !k.cpus[target].enabled || (t.pinned >= 0 && target != t.pinned) {
+		target = k.selectCPU(t)
+	}
+	c := k.cpus[target]
+	k.placeWoken(c, t)
+	k.checkPreempt(c, t, nil)
+}
+
+// selectCPU chooses the wakeup CPU for t: the pinned CPU, t's previous CPU
+// if idle, or the idlest allowed CPU preferring t's node.
+func (k *Kernel) selectCPU(t *Thread) int {
+	if t.pinned >= 0 && k.cpus[t.pinned].enabled {
+		return t.pinned
+	}
+	if prev := k.cpus[t.cpu]; prev.enabled && prev.curr == nil && prev.tree.Len() == 0 {
+		return t.cpu
+	}
+	return k.idlestCPU(t.cpu)
+}
+
+// placeWoken enqueues a woken thread on c with the sleeper bonus and
+// migration accounting.
+func (k *Kernel) placeWoken(c *cpu, t *Thread) {
+	if !c.enabled {
+		// The cpuset shrank while the waker was mid-path; retarget.
+		c = k.cpus[k.idlestCPU(t.cpu)]
+	}
+	if t.cpu != c.id {
+		k.accountMigration(t, t.cpu, c.id)
+	}
+	floor := c.minV - k.costs.SleeperBonus
+	if t.vruntime < floor {
+		t.vruntime = floor
+	}
+	if t.vruntime > c.minV {
+		t.vruntime = c.minV
+	}
+	k.enqueue(c, t)
+	k.Metrics.Wakeups++
+	k.trace(c.id, t, "wake", 0)
+	if c.curr == nil {
+		k.reschedule(c)
+	}
+}
+
+func (k *Kernel) accountMigration(t *Thread, from, to int) {
+	k.trace(from, t, "migrate", int64(to))
+	if k.topo.SameNode(from, to) {
+		k.Metrics.MigrationsInNode++
+		t.warm += k.costs.MigrationInNode
+	} else {
+		k.Metrics.MigrationsCrossNode++
+		t.warm += k.costs.MigrationCrossNode
+	}
+}
+
+// checkPreempt decides whether freshly woken t preempts c's current thread
+// under the given wakeup granularity. waker (nil for interrupt context) is
+// charged the IPI cost.
+func (k *Kernel) checkPreempt(c *cpu, t *Thread, waker *Thread) {
+	k.checkPreemptGran(c, t, waker, k.costs.WakeupGranularity)
+}
+
+func (k *Kernel) checkPreemptGran(c *cpu, t *Thread, waker *Thread, gran sim.Duration) {
+	curr := c.curr
+	if curr == nil {
+		k.reschedule(c)
+		return
+	}
+	if curr == t || t.node == nil {
+		return
+	}
+	// Account curr's time since dispatch, as the scheduler tick would; the
+	// stored vruntime is only updated when segments close.
+	currVr := curr.vruntime + sim.Duration(k.eng.Now().Sub(c.currStart))
+	if currVr-t.vruntime <= gran {
+		return
+	}
+	if waker != nil {
+		waker.RunKernel(k.costs.PreemptIPI)
+		if c.curr != curr {
+			return // the target rescheduled while we paid the IPI cost
+		}
+	}
+	// CFS wakeup preemption is immediate once the wakeup-granularity
+	// vruntime test passes; the minimum granularity gates only tick-driven
+	// preemption. (A thread that keeps being preempted retains its low
+	// vruntime and is promptly rescheduled, so starvation is bounded.)
+	k.eng.After(0, func() { k.preemptNow(c, curr) })
+}
+
+// preemptNow forces curr off c if it is still running.
+func (k *Kernel) preemptNow(c *cpu, curr *Thread) {
+	if c.curr != curr {
+		return
+	}
+	k.closeSegment(c)
+	if (curr.req.kind == reqRun || curr.req.kind == reqTight) && curr.req.remaining <= 0 {
+		k.advance(c)
+		return
+	}
+	k.trace(c.id, curr, "preempt", 0)
+	k.offCPU(c, curr, false)
+	k.enqueue(c, curr)
+	k.reschedule(c)
+}
+
+// WakeVanilla performs the full Linux wakeup path on behalf of waker:
+// idlest-core selection, remote runqueue locking, enqueue, and the
+// preemption check. The waker's CPU time is consumed at each step, which is
+// what serializes bulk wakeups. t must be vanilla-blocked (StateSleeping).
+func (k *Kernel) WakeVanilla(waker *Thread, t *Thread) {
+	if t.state != StateSleeping {
+		return
+	}
+	cost := k.costs.SelectCoreBase + k.costs.SelectCoreScan*sim.Duration(k.nAllowed)
+	waker.RunKernel(cost)
+	if t.state != StateSleeping {
+		return // woken concurrently while we paid the selection cost
+	}
+	target := k.selectCPU(t)
+	c := k.cpus[target]
+	c.lock.Lock(waker)
+	waker.RunKernel(k.costs.RQLockHold + k.costs.Enqueue)
+	if t.state == StateSleeping {
+		k.placeWoken(c, t)
+		c.lock.Unlock(waker)
+		k.checkPreempt(c, t, waker)
+	} else {
+		c.lock.Unlock(waker)
+	}
+}
+
+// WakeIRQ wakes a vanilla-blocked thread from interrupt context (e.g. a
+// network receive): the wakeup costs are charged to the target CPU as
+// kernel overhead rather than to a waker thread.
+func (k *Kernel) WakeIRQ(t *Thread) {
+	if t.state != StateSleeping {
+		return
+	}
+	target := k.selectCPU(t)
+	c := k.cpus[target]
+	c.overhead += k.costs.SelectCoreBase + k.costs.RQLockHold + k.costs.Enqueue
+	k.placeWoken(c, t)
+	k.checkPreempt(c, t, nil)
+}
+
+// VWake clears t's thread_state flag, restoring it to normal scheduling on
+// its current runqueue — the virtual-blocking wakeup. waker is charged the
+// (small) flag-clear cost; pass nil from interrupt context.
+func (k *Kernel) VWake(waker *Thread, t *Thread) {
+	if !t.vblocked {
+		return
+	}
+	if waker != nil {
+		waker.RunKernel(k.costs.VBWake)
+		if !t.vblocked {
+			return // another path cleared the flag meanwhile
+		}
+	}
+	c := k.cpus[t.cpu]
+	k.dequeue(t)
+	t.vblocked = false
+	floor := c.minV - k.costs.SleeperBonus
+	if t.vruntime < floor {
+		t.vruntime = floor
+	}
+	k.enqueue(c, t)
+	k.Metrics.VBWakes++
+	k.trace(c.id, t, "vwake", 0)
+	if c.vbIdle {
+		k.exitVBIdle(c)
+		return
+	}
+	// The paper's scheduler change: threads waking from virtual blocking
+	// are scheduled immediately, like prioritized real wakeups — a much
+	// tighter granularity than ordinary wakeup preemption.
+	k.checkPreemptGran(c, t, waker, k.costs.VBWakeGranularity)
+}
+
+// RunToCompletion runs the simulation until every spawned thread exits or
+// the horizon passes (0 means no horizon). It returns an error if threads
+// remain alive, which usually indicates a workload deadlock.
+func (k *Kernel) RunToCompletion(horizon sim.Time) error {
+	k.stopWhenIdle = true
+	if k.live == 0 {
+		return nil
+	}
+	k.eng.Run(horizon)
+	if k.live > 0 {
+		return fmt.Errorf("sched: %d threads still alive at %v", k.live, k.eng.Now())
+	}
+	return nil
+}
+
+// Threads returns every thread ever spawned on this kernel, in spawn order.
+func (k *Kernel) Threads() []*Thread {
+	out := make([]*Thread, len(k.threads))
+	copy(out, k.threads)
+	return out
+}

@@ -1,0 +1,56 @@
+package sched
+
+// Word is a shared memory cell that simulated threads synchronize through.
+// Mutations notify the kernel so that threads spinning on conditions over
+// Words re-evaluate them (Kernel.Kick); plain loads are free, matching the
+// fact that a cached read costs nothing observable at our resolution.
+type Word struct {
+	k *Kernel
+	v uint64
+}
+
+// NewWord allocates a shared cell with initial value v.
+func (k *Kernel) NewWord(v uint64) *Word {
+	return &Word{k: k, v: v}
+}
+
+// Load returns the current value.
+func (w *Word) Load() uint64 { return w.v }
+
+// Store sets the value and wakes condition re-evaluation for spinners.
+func (w *Word) Store(v uint64) {
+	w.v = v
+	w.k.Kick()
+}
+
+// Add atomically adds delta and returns the new value.
+func (w *Word) Add(delta uint64) uint64 {
+	w.v += delta
+	w.k.Kick()
+	return w.v
+}
+
+// Sub atomically subtracts delta and returns the new value.
+func (w *Word) Sub(delta uint64) uint64 {
+	w.v -= delta
+	w.k.Kick()
+	return w.v
+}
+
+// CAS performs a compare-and-swap, reporting success.
+func (w *Word) CAS(old, new uint64) bool {
+	if w.v != old {
+		return false
+	}
+	w.v = new
+	w.k.Kick()
+	return true
+}
+
+// Swap sets the value and returns the previous one.
+func (w *Word) Swap(v uint64) uint64 {
+	old := w.v
+	w.v = v
+	w.k.Kick()
+	return old
+}

@@ -1,0 +1,178 @@
+package sim
+
+import "fmt"
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (ev *Event) At() Time { return ev.at }
+
+// Cancel prevents the event from firing. Cancelling an event that already
+// fired or was cancelled is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Active reports whether the event is still pending (not fired or cancelled).
+func (ev *Event) Active() bool { return !ev.cancelled && !ev.fired }
+
+// Engine is a single-threaded discrete-event simulator.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	heap    []*Event
+	rng     *Rand
+	procs   map[*Proc]struct{}
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero and the given RNG seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{
+		rng:   NewRand(seed),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// At schedules fn to run at time t. Scheduling in the past panics: the
+// simulation would lose causality.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, e.now))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.push(ev)
+	return ev
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (e *Engine) After(d Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Stop halts Run after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Pending reports the number of live events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.heap {
+		if ev.Active() {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes events until the queue is empty, Stop is called, or the clock
+// would pass until (until <= 0 means no limit). It returns the time of the
+// last executed event (or the until horizon if it was reached).
+func (e *Engine) Run(until Time) Time {
+	e.stopped = false
+	for !e.stopped {
+		ev := e.pop()
+		if ev == nil {
+			break
+		}
+		if until > 0 && ev.at > until {
+			// Put it back; the horizon was reached first.
+			e.push(ev)
+			e.now = until
+			break
+		}
+		if ev.at < e.now {
+			panic("sim: event queue went backwards")
+		}
+		e.now = ev.at
+		ev.fired = true
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one event, if any, and reports whether it did.
+func (e *Engine) Step() bool {
+	ev := e.pop()
+	if ev == nil {
+		return false
+	}
+	e.now = ev.at
+	ev.fired = true
+	ev.fn()
+	return true
+}
+
+// push inserts ev into the binary heap ordered by (at, seq).
+func (e *Engine) push(ev *Event) {
+	e.heap = append(e.heap, ev)
+	i := len(e.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e.heap[i], e.heap[parent]) {
+			break
+		}
+		e.heap[i], e.heap[parent] = e.heap[parent], e.heap[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest non-cancelled event, or nil.
+func (e *Engine) pop() *Event {
+	for len(e.heap) > 0 {
+		top := e.heap[0]
+		last := len(e.heap) - 1
+		e.heap[0] = e.heap[last]
+		e.heap[last] = nil
+		e.heap = e.heap[:last]
+		if last > 0 {
+			e.siftDown(0)
+		}
+		if !top.cancelled {
+			return top
+		}
+	}
+	return nil
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && eventLess(e.heap[l], e.heap[smallest]) {
+			smallest = l
+		}
+		if r < n && eventLess(e.heap[r], e.heap[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		e.heap[i], e.heap[smallest] = e.heap[smallest], e.heap[i]
+		i = smallest
+	}
+}
+
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}

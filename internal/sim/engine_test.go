@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []Time
+	for _, d := range []Duration{5, 1, 3, 2, 4} {
+		d := d
+		e.After(d*Microsecond, func() { got = append(got, e.Now()) })
+	}
+	e.Run(0)
+	want := []Time{1000, 2000, 3000, 4000, 5000}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.After(10, func() { fired = true })
+	ev.Cancel()
+	e.Run(0)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if ev.Active() {
+		t.Error("cancelled event still active")
+	}
+}
+
+func TestEngineHorizon(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(10, func() { ran++ })
+	e.At(20, func() { ran++ })
+	e.At(30, func() { ran++ })
+	end := e.Run(25)
+	if ran != 2 {
+		t.Errorf("ran %d events before horizon, want 2", ran)
+	}
+	if end != 25 {
+		t.Errorf("clock at %v, want 25", end)
+	}
+	// The remaining event must still fire on a later Run.
+	e.Run(0)
+	if ran != 3 {
+		t.Errorf("ran %d events total, want 3", ran)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(10, func() { ran++; e.Stop() })
+	e.At(20, func() { ran++ })
+	e.Run(0)
+	if ran != 1 {
+		t.Errorf("ran %d events, want 1 (stopped)", ran)
+	}
+}
+
+func TestEventChaining(t *testing.T) {
+	e := NewEngine(1)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(Microsecond, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run(0)
+	if count != 100 {
+		t.Errorf("chained %d ticks, want 100", count)
+	}
+	if e.Now() != Time(99*Microsecond) {
+		t.Errorf("clock at %v, want 99us", e.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run(0)
+}
+
+func TestPendingCount(t *testing.T) {
+	e := NewEngine(1)
+	ev1 := e.At(10, func() {})
+	e.At(20, func() {})
+	if got := e.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+	ev1.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Errorf("Pending after cancel = %d, want 1", got)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.At(5, func() { ran++ })
+	e.At(6, func() { ran++ })
+	if !e.Step() || ran != 1 || e.Now() != 5 {
+		t.Fatalf("first step: ran=%d now=%v", ran, e.Now())
+	}
+	if !e.Step() || ran != 2 || e.Now() != 6 {
+		t.Fatalf("second step: ran=%d now=%v", ran, e.Now())
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue returned true")
+	}
+}
+
+// Property: for any batch of event delays, the engine executes them in
+// non-decreasing time order and ends with the clock at the max delay.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := NewEngine(42)
+		var seen []Time
+		var maxT Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > maxT {
+				maxT = at
+			}
+			e.At(at, func() { seen = append(seen, e.Now()) })
+		}
+		e.Run(0)
+		if len(seen) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return e.Now() == maxT
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		e := NewEngine(7)
+		var out []uint64
+		for i := 0; i < 50; i++ {
+			e.After(e.Rand().Duration(Millisecond), func() {
+				out = append(out, e.Rand().Uint64())
+			})
+		}
+		e.Run(0)
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths across identical runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "fmt"
+
+// Proc is a coroutine running inside the simulation.
+//
+// A Proc's body is an ordinary Go function executing on its own goroutine,
+// but control is transferred explicitly: the owner (scheduler, client model,
+// ...) calls Switch to run the body until it calls Park or returns. While the
+// body runs, the owner is blocked, so at most one simulated entity executes
+// at a time and determinism is preserved.
+type Proc struct {
+	eng      *Engine
+	resume   chan struct{}
+	parked   chan struct{}
+	body     func(*Proc)
+	started  bool
+	finished bool
+	panicked any
+
+	// Data is scratch space for the owner (e.g. the kernel request the
+	// body parked on). The sim package never touches it.
+	Data any
+}
+
+// NewProc registers a coroutine with body. The body does not run until the
+// first Switch.
+func (e *Engine) NewProc(body func(*Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+		body:   body,
+	}
+	e.procs[p] = struct{}{}
+	return p
+}
+
+// Engine returns the engine the proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Finished reports whether the body has returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Switch transfers control to the proc until it parks or finishes. It must
+// be called from the engine's thread (an event callback or the code driving
+// Run). If the body panicked, Switch re-panics on the caller's goroutine.
+func (p *Proc) Switch() {
+	if p.finished {
+		panic("sim: Switch on finished proc")
+	}
+	if !p.started {
+		p.started = true
+		go p.run()
+	} else {
+		p.resume <- struct{}{}
+	}
+	<-p.parked
+	if p.panicked != nil {
+		panic(fmt.Sprintf("sim: proc body panicked: %v", p.panicked))
+	}
+}
+
+// Park suspends the body until the next Switch. It must be called from
+// within the proc's body.
+func (p *Proc) Park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+func (p *Proc) run() {
+	defer func() {
+		if r := recover(); r != nil {
+			p.panicked = r
+		}
+		p.finished = true
+		delete(p.eng.procs, p)
+		p.parked <- struct{}{}
+	}()
+	p.body(p)
+}
+
+// LiveProcs returns the number of procs that have been created and not yet
+// finished. Useful for detecting leaked simulated threads in tests.
+func (e *Engine) LiveProcs() int { return len(e.procs) }

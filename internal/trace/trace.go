@@ -1,0 +1,136 @@
+// Package trace records simulated-kernel scheduling events into a bounded
+// ring, for debugging workloads and for tooling that wants a scheduling
+// timeline (oversim -trace).
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"oversub/internal/sim"
+)
+
+// Kind labels a scheduling event.
+type Kind string
+
+// Event kinds emitted by the kernel.
+const (
+	Dispatch  Kind = "dispatch"
+	Preempt   Kind = "preempt"
+	Block     Kind = "block"
+	VBlock    Kind = "vblock"
+	Wake      Kind = "wake"
+	VWake     Kind = "vwake"
+	Migrate   Kind = "migrate"
+	BWD       Kind = "bwd-deschedule"
+	PLE       Kind = "ple-exit"
+	Exit      Kind = "exit"
+	SliceEnd  Kind = "slice-end"
+	CPUResize Kind = "cpuset-resize"
+)
+
+// Event is one recorded scheduling event.
+type Event struct {
+	At     sim.Time
+	CPU    int
+	Thread int // thread id, -1 when not applicable
+	Kind   Kind
+	Arg    int64 // kind-specific: target CPU for migrate, new size for resize
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("%-12v cpu%-3d t%-4d %-14s %d", e.At, e.CPU, e.Thread, e.Kind, e.Arg)
+}
+
+// Ring is a bounded in-memory trace buffer implementing sched.Tracer.
+type Ring struct {
+	events  []Event
+	next    int
+	full    bool
+	dropped uint64
+	filter  map[Kind]bool
+}
+
+// NewRing allocates a tracer holding the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Ring{events: make([]Event, 0, capacity)}
+}
+
+// Only restricts recording to the given kinds (all kinds when never called).
+func (r *Ring) Only(kinds ...Kind) *Ring {
+	r.filter = make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		r.filter[k] = true
+	}
+	return r
+}
+
+// Trace implements the kernel's tracer hook.
+func (r *Ring) Trace(at sim.Time, cpu, thread int, kind string, arg int64) {
+	k := Kind(kind)
+	if r.filter != nil && !r.filter[k] {
+		return
+	}
+	ev := Event{At: at, CPU: cpu, Thread: thread, Kind: k, Arg: arg}
+	if len(r.events) < cap(r.events) {
+		r.events = append(r.events, ev)
+		return
+	}
+	// Overwrite the oldest entry.
+	r.events[r.next] = ev
+	r.next = (r.next + 1) % cap(r.events)
+	r.full = true
+	r.dropped++
+}
+
+// Events returns the recorded events in chronological order.
+func (r *Ring) Events() []Event {
+	if !r.full {
+		out := make([]Event, len(r.events))
+		copy(out, r.events)
+		return out
+	}
+	out := make([]Event, 0, cap(r.events))
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Dropped returns how many old events were overwritten.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Len returns the number of retained events.
+func (r *Ring) Len() int { return len(r.events) }
+
+// Summary counts events by kind.
+func (r *Ring) Summary() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range r.Events() {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// WriteTo dumps the trace as text, one event per line.
+func (r *Ring) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, e := range r.Events() {
+		m, err := fmt.Fprintln(w, e.String())
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	if r.dropped > 0 {
+		m, err := fmt.Fprintf(w, "(%d older events dropped)\n", r.dropped)
+		n += int64(m)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"oversub/internal/hw"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+func tracedKernel(t *testing.T, cap int) (*sched.Kernel, *Ring) {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	k := sched.New(eng, sched.Config{
+		Topo:  hw.Topology{Sockets: 1, CoresPerSocket: 2, ThreadsPerCore: 1},
+		NCPUs: 2,
+		Costs: sched.DefaultCosts(),
+		Seed:  1,
+	})
+	r := NewRing(cap)
+	k.SetTracer(r)
+	return k, r
+}
+
+func TestRecordsDispatchAndExit(t *testing.T) {
+	k, r := tracedKernel(t, 1024)
+	k.Spawn("w", func(th *sched.Thread) { th.Run(sim.Millisecond) })
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Summary()
+	if sum[Dispatch] == 0 {
+		t.Error("no dispatch events recorded")
+	}
+	if sum[Exit] != 1 {
+		t.Errorf("Exit events = %d, want 1", sum[Exit])
+	}
+	// Chronological order.
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].At < evs[i-1].At {
+			t.Fatal("events out of order")
+		}
+	}
+}
+
+func TestRecordsBlockingLifecycle(t *testing.T) {
+	k, r := tracedKernel(t, 4096)
+	var waiter *sched.Thread
+	waiter = k.Spawn("waiter", func(th *sched.Thread) { th.Block() })
+	k.Spawn("waker", func(th *sched.Thread) {
+		th.Run(2 * sim.Millisecond)
+		k.WakeVanilla(th, waiter)
+		th.Run(sim.Millisecond)
+	})
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	sum := r.Summary()
+	if sum[Block] != 1 || sum[Wake] != 1 {
+		t.Errorf("block/wake = %d/%d, want 1/1", sum[Block], sum[Wake])
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Trace(sim.Time(i), 0, i, string(Dispatch), 0)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", r.Dropped())
+	}
+	evs := r.Events()
+	if evs[0].Thread != 6 || evs[3].Thread != 9 {
+		t.Errorf("ring kept %v..%v, want 6..9", evs[0].Thread, evs[3].Thread)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := NewRing(16).Only(Migrate)
+	r.Trace(1, 0, 1, string(Dispatch), 0)
+	r.Trace(2, 0, 1, string(Migrate), 3)
+	if r.Len() != 1 || r.Events()[0].Kind != Migrate {
+		t.Errorf("filter kept %v", r.Events())
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	r := NewRing(16)
+	r.Trace(sim.Time(5*sim.Microsecond), 2, 7, string(VWake), 0)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "vwake") || !strings.Contains(out, "cpu2") || !strings.Contains(out, "t7") {
+		t.Errorf("unexpected dump: %q", out)
+	}
+}
+
+func TestNilTracerIsFree(t *testing.T) {
+	// Just exercises the nil path: kernels without tracers must not panic.
+	eng := sim.NewEngine(9)
+	k := sched.New(eng, sched.Config{
+		Topo:  hw.Topology{Sockets: 1, CoresPerSocket: 1, ThreadsPerCore: 1},
+		NCPUs: 1, Costs: sched.DefaultCosts(), Seed: 2,
+	})
+	k.Spawn("w", func(th *sched.Thread) { th.Run(sim.Millisecond) })
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+
+	"oversub/internal/bwd"
+	"oversub/internal/epoll"
+	"oversub/internal/futex"
+	"oversub/internal/hw"
+	"oversub/internal/locks"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+)
+
+// TestRandomizedStress generates random mixes of every synchronization
+// primitive under random kernel configurations and asserts global
+// liveness (no deadlock/livelock), operation completeness, and metric
+// sanity. This is the regression net for ordering races like the
+// deferred-wakeup bug: a waker that pays serialized per-waiter costs must
+// never spuriously wake the target's *next* sleep.
+func TestRandomizedStress(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
+			rng := sim.NewRand(uint64(trial)*7919 + 13)
+			cores := 1 + rng.Intn(8)
+			threads := 2 + rng.Intn(24)
+			feat := sched.Features{
+				VB: rng.Intn(2) == 0,
+				VM: rng.Intn(4) == 0,
+			}
+			useBWD := rng.Intn(2) == 0
+
+			eng := sim.NewEngine(uint64(trial) + 1)
+			k := sched.New(eng, sched.Config{
+				Topo:  hw.Topology{Sockets: 2, CoresPerSocket: (cores + 1) / 2, ThreadsPerCore: 1 + rng.Intn(2)},
+				NCPUs: cores,
+				Costs: sched.DefaultCosts(),
+				Feat:  feat,
+				Seed:  uint64(trial) * 31,
+			})
+			tbl := futex.NewTable(k, 1+rng.Intn(8))
+
+			mu := locks.NewMutex(tbl)
+			cond := locks.NewCond(tbl)
+			bar := locks.NewBarrier(tbl, threads)
+			sem := locks.NewSemaphore(tbl, uint64(1+rng.Intn(3)))
+			rw := locks.NewRWLock(tbl)
+			spin := locks.SpinLockSet(k)[rng.Intn(10)]
+			poll := epoll.New(k)
+			flag := k.NewWord(0)
+			sig := hw.NewSpinSig(0xabc000, 4, rng.Intn(2) == 0)
+
+			counter := 0
+			condGen := uint64(0)
+			doneWorkers := 0
+			polled := 0
+			iters := 4 + rng.Intn(8)
+
+			// A pump feeds the epoll so waiters always drain.
+			posts := threads * iters
+			for p := 0; p < posts; p++ {
+				p := p
+				eng.After(sim.Duration(100+p*40)*sim.Microsecond, func() { poll.Post(p) })
+			}
+
+			for i := 0; i < threads; i++ {
+				tRng := sim.NewRand(uint64(trial)*1000 + uint64(i))
+				k.Spawn(fmt.Sprintf("fz-%d", i), func(th *sched.Thread) {
+					for j := 0; j < iters; j++ {
+						switch tRng.Intn(8) {
+						case 0: // plain compute
+							th.Run(sim.Duration(10+tRng.Intn(300)) * sim.Microsecond)
+						case 1: // futex mutex critical section
+							mu.Lock(th)
+							counter++
+							th.Run(sim.Duration(1+tRng.Intn(20)) * sim.Microsecond)
+							mu.Unlock(th)
+						case 2: // condvar wait for the next periodic broadcast
+							mu.Lock(th)
+							g := condGen
+							for condGen == g {
+								cond.Wait(th, mu)
+							}
+							mu.Unlock(th)
+						case 3: // barrier round (all threads do the same count)
+							th.Run(sim.Duration(tRng.Intn(50)) * sim.Microsecond)
+						case 4: // semaphore
+							sem.Acquire(th)
+							th.Run(sim.Duration(1+tRng.Intn(30)) * sim.Microsecond)
+							sem.Release(th)
+						case 5: // rwlock, mixed
+							if tRng.Intn(3) == 0 {
+								rw.Lock(th)
+								th.Run(sim.Duration(1+tRng.Intn(10)) * sim.Microsecond)
+								rw.Unlock(th)
+							} else {
+								rw.RLock(th)
+								th.Run(sim.Duration(1+tRng.Intn(10)) * sim.Microsecond)
+								rw.RUnlock(th)
+							}
+						case 6: // spinlock
+							spin.Lock(th)
+							th.Run(sim.Duration(1+tRng.Intn(8)) * sim.Microsecond)
+							spin.Unlock(th)
+						case 7: // epoll consume
+							if poll.Wait(th) != nil {
+								polled++
+							}
+						}
+						// Occasional pure spin resolved by a timed setter.
+						if tRng.Intn(16) == 0 {
+							flag.Store(0)
+							eng.After(sim.Duration(30+tRng.Intn(200))*sim.Microsecond, func() { flag.Store(1) })
+							th.SpinUntil(func() bool { return flag.Load() == 1 }, sig)
+						}
+					}
+					// Final convergence so the barrier count is exact.
+					doneWorkers++
+					bar.Await(th)
+				})
+			}
+
+			// A dedicated broadcaster guarantees every condvar wait ends.
+			k.Spawn("broadcaster", func(th *sched.Thread) {
+				for doneWorkers < threads {
+					th.Sleep(sim.Duration(200+rng.Intn(200)) * sim.Microsecond)
+					mu.Lock(th)
+					condGen++
+					if rng.Intn(2) == 0 {
+						cond.Broadcast(th)
+					} else {
+						cond.BroadcastRequeue(th, mu)
+					}
+					mu.Unlock(th)
+				}
+			})
+
+			var det *bwd.Detector
+			if useBWD {
+				det = bwd.New(k, bwd.Config{Mode: bwd.ModeBWD})
+				det.Start()
+			}
+			// Random elasticity events.
+			if rng.Intn(2) == 0 && cores > 1 {
+				shrink := 1 + rng.Intn(cores)
+				eng.After(sim.Duration(1+rng.Intn(5))*sim.Millisecond, func() { k.SetAllowedCPUs(shrink) })
+				eng.After(sim.Duration(10+rng.Intn(10))*sim.Millisecond, func() { k.SetAllowedCPUs(cores) })
+			}
+
+			if err := k.RunToCompletion(sim.Time(120 * sim.Second)); err != nil {
+				t.Fatalf("cores=%d threads=%d vb=%v bwd=%v: %v",
+					cores, threads, feat.VB, useBWD, err)
+			}
+			if k.Live() != 0 {
+				t.Fatalf("%d threads leaked", k.Live())
+			}
+			if k.Metrics.FutexWakes > 0 && k.Metrics.FutexWaits == 0 {
+				t.Error("wakes without waits")
+			}
+		})
+	}
+}
+
+// TestRandomizedStressDeterminism re-runs one randomized trial and demands
+// bit-identical metrics.
+func TestRandomizedStressDeterminism(t *testing.T) {
+	run := func() (sim.Time, sched.Metrics) {
+		eng := sim.NewEngine(99)
+		k := sched.New(eng, sched.Config{
+			Topo:  hw.Topology{Sockets: 2, CoresPerSocket: 2, ThreadsPerCore: 1},
+			NCPUs: 4,
+			Costs: sched.DefaultCosts(),
+			Feat:  sched.Features{VB: true},
+			Seed:  5,
+		})
+		tbl := futex.NewTable(k, 0)
+		mu := locks.NewMutex(tbl)
+		bar := locks.NewBarrier(tbl, 12)
+		for i := 0; i < 12; i++ {
+			i := i
+			k.Spawn("d", func(th *sched.Thread) {
+				r := sim.NewRand(uint64(i))
+				for j := 0; j < 6; j++ {
+					th.Run(sim.Duration(10+r.Intn(100)) * sim.Microsecond)
+					mu.Lock(th)
+					th.Run(2 * sim.Microsecond)
+					mu.Unlock(th)
+					bar.Await(th)
+				}
+			})
+		}
+		if err := k.RunToCompletion(sim.Time(60 * sim.Second)); err != nil {
+			t.Fatal(err)
+		}
+		return k.Now(), k.Metrics
+	}
+	t1, m1 := run()
+	t2, m2 := run()
+	if t1 != t2 || m1 != m2 {
+		t.Errorf("randomized trial not deterministic: %v/%v", t1, t2)
+	}
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"fmt"
+
+	"oversub/internal/epoll"
+	"oversub/internal/futex"
+	"oversub/internal/locks"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+	"oversub/internal/stats"
+)
+
+// MemcachedConfig describes a memcached experiment (Figure 12).
+type MemcachedConfig struct {
+	Workers  int // worker threads (epoll event loops)
+	Cores    int
+	VB       bool
+	Requests int     // total requests the client issues
+	Conns    int     // concurrent closed-loop client connections
+	GetRatio float64 // fraction of GETs (paper: 10:1 GET/SET)
+	KeySize  int     // bytes (paper: 128)
+	ValSize  int     // bytes (paper: 2048)
+	// LockShards is the hash-table lock granularity (default 4).
+	LockShards int
+	Seed       uint64
+}
+
+// MemcachedResult reports the client-observed service metrics.
+type MemcachedResult struct {
+	ThroughputOpsSec float64
+	Mean             sim.Duration
+	P95              sim.Duration
+	P99              sim.Duration
+	Served           int
+	Metrics          sched.Metrics
+}
+
+// request is one in-flight client request.
+type mcRequest struct {
+	arrival sim.Time
+	isGet   bool
+	conn    int
+}
+
+// Memcached simulates the §4.2 cloud workload: a memcached server whose
+// worker threads block in epoll_wait for connection events and serialize
+// hash-table access through futex-based mutexes, stressed by a
+// mutilate-style closed-loop client. Under vanilla oversubscription the
+// sleep/wakeup path inflates tail latency ~8x; virtual blocking in epoll
+// and futex recovers it.
+func Memcached(cfg MemcachedConfig) MemcachedResult {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 20000
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 64
+	}
+	if cfg.GetRatio <= 0 {
+		cfg.GetRatio = 10.0 / 11.0
+	}
+	if cfg.KeySize <= 0 {
+		cfg.KeySize = 128
+	}
+	if cfg.ValSize <= 0 {
+		cfg.ValSize = 2048
+	}
+
+	k := newKernel(cfg.Cores, 1, sched.Features{VB: cfg.VB}, cfg.Seed)
+	eng := k.Engine()
+	tbl := futex.NewTable(k, 0)
+
+	// The item-lock table: memcached shards its hash table locks.
+	nShards := cfg.LockShards
+	if nShards <= 0 {
+		nShards = 4
+	}
+	shards := make([]*locks.Mutex, nShards)
+	for i := range shards {
+		shards[i] = locks.NewMutex(tbl)
+	}
+
+	// One event loop per worker, as in memcached's thread-per-event-loop
+	// design; connections are assigned round-robin.
+	polls := make([]*epoll.Poll, cfg.Workers)
+	for i := range polls {
+		polls[i] = epoll.New(k)
+	}
+
+	var lat stats.Latency
+	served := 0
+	issued := 0
+	rng := eng.Rand().Split()
+
+	// Service time components (single-request path, calibrated to a
+	// ~10us/request in-memory cache on a 2.1 GHz core).
+	parse := 3 * sim.Microsecond
+	hashLookup := 1500 * sim.Nanosecond
+	getCopy := sim.Duration(cfg.ValSize/4) * sim.Nanosecond // value transfer
+	setStore := sim.Duration(cfg.ValSize/3) * sim.Nanosecond
+	netSend := 3 * sim.Microsecond
+	rtt := 25 * sim.Microsecond // client-server network round trip
+
+	var issue func(conn int)
+	issue = func(conn int) {
+		if issued >= cfg.Requests {
+			return
+		}
+		issued++
+		req := &mcRequest{isGet: rng.Float64() < cfg.GetRatio, conn: conn}
+		// Request hits the NIC after half an RTT.
+		eng.After(sim.Duration(rng.Jitter(rtt/2, 0.2)), func() {
+			req.arrival = eng.Now()
+			polls[conn%cfg.Workers].Post(req)
+		})
+	}
+
+	complete := func(req *mcRequest) {
+		lat.Add(eng.Now().Sub(req.arrival))
+		served++
+		if served == cfg.Requests {
+			return
+		}
+		// Closed loop: the connection issues its next request after the
+		// response travels back.
+		eng.After(sim.Duration(rng.Jitter(rtt/2, 0.2)), func() { issue(req.conn) })
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		k.Spawn(fmt.Sprintf("worker-%d", w), func(t *sched.Thread) {
+			for served < cfg.Requests {
+				ev := polls[w].Wait(t)
+				req, ok := ev.(*mcRequest)
+				if !ok {
+					break // shutdown sentinel
+				}
+				t.Run(parse)
+				shard := shards[rng.Intn(len(shards))]
+				shard.Lock(t)
+				t.Run(hashLookup)
+				if req.isGet {
+					t.Run(getCopy)
+				} else {
+					t.Run(setStore)
+				}
+				shard.Unlock(t)
+				t.Run(netSend)
+				complete(req)
+			}
+			// Propagate shutdown to every worker still waiting.
+			for _, p := range polls {
+				for p.WaitersCount() > 0 {
+					p.Post(nil)
+				}
+			}
+		})
+	}
+
+	start := eng.Now()
+	for c := 0; c < cfg.Conns; c++ {
+		issue(c)
+	}
+	if err := k.RunToCompletion(sim.Time(600 * sim.Second)); err != nil {
+		panic(err)
+	}
+	elapsed := eng.Now().Sub(start)
+
+	res := MemcachedResult{
+		Served:  served,
+		Mean:    lat.Mean(),
+		P95:     lat.Percentile(95),
+		P99:     lat.Percentile(99),
+		Metrics: k.Metrics,
+	}
+	if elapsed > 0 {
+		res.ThroughputOpsSec = float64(served) / elapsed.Seconds()
+	}
+	return res
+}

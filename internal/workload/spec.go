@@ -1,0 +1,297 @@
+// Package workload provides the benchmark programs the paper evaluates:
+// parametric models of the 32 PARSEC / SPLASH-2 / NPB applications, the
+// micro-benchmarks of §2.3 and §4, and a memcached server with a
+// mutilate-style closed-loop client.
+//
+// Each suite program is reduced to its synchronization skeleton (what kind
+// of synchronization, how often, how much work between operations, how
+// evenly distributed) and its memory envelope (working set, access
+// pattern, memory-boundedness). These are the only properties the paper's
+// analysis depends on; the per-benchmark parameters are set from the
+// paper's own characterization (Figure 1 grouping, Figure 3 sync
+// intervals, §4.2/§4.3 discussion).
+package workload
+
+import (
+	"oversub/internal/mem"
+	"oversub/internal/sim"
+)
+
+// SyncKind is the synchronization skeleton of a suite program.
+type SyncKind int
+
+const (
+	// SyncNone: threads compute independently (embarrassingly parallel).
+	SyncNone SyncKind = iota
+	// SyncBarrier: rounds of compute separated by global barriers.
+	SyncBarrier
+	// SyncMutex: compute with periodic locked critical sections.
+	SyncMutex
+	// SyncCond: task-queue style condition-variable handoffs.
+	SyncCond
+	// SyncCustomSpin: hand-rolled busy-wait flags in a ring (lu, volrend).
+	SyncCustomSpin
+)
+
+// String names the kind.
+func (s SyncKind) String() string {
+	switch s {
+	case SyncNone:
+		return "none"
+	case SyncBarrier:
+		return "barrier"
+	case SyncMutex:
+		return "mutex"
+	case SyncCond:
+		return "cond"
+	case SyncCustomSpin:
+		return "spin"
+	}
+	return "?"
+}
+
+// Group is the paper's Figure 1 classification.
+type Group int
+
+const (
+	// GroupNeutral programs are unaffected by oversubscription.
+	GroupNeutral Group = iota
+	// GroupBenefit programs speed up when oversubscribed.
+	GroupBenefit
+	// GroupSuffer programs slow down, some drastically.
+	GroupSuffer
+)
+
+// Spec describes one suite program.
+type Spec struct {
+	Name  string
+	Suite string // "parsec", "splash2", "npb"
+	Group Group
+
+	// OptimalThreads is the concurrency at which the program stops
+	// scaling on the paper's platform (§2.1: users launch this many).
+	OptimalThreads int
+
+	Sync SyncKind
+	// TotalWork is the strong-scaling problem size: total CPU time across
+	// all threads (at the model's scale, ~1000x smaller than the paper's
+	// testbed runtimes to keep simulation fast).
+	TotalWork sim.Duration
+	// Rounds is the number of global synchronization rounds (barrier
+	// phases, lock epochs, ring laps).
+	Rounds int
+	// CriticalSection is the locked work per round for SyncMutex/SyncCond.
+	CriticalSection sim.Duration
+	// LocksScaleWithThreads marks fluidanimate's pathology: the number of
+	// locks (and locking operations) grows with the thread count.
+	LocksScaleWithThreads bool
+	// NLocks is the lock count for SyncMutex at optimal threads.
+	NLocks int
+	// BarrierEvery adds a global barrier every N mutex rounds (frame
+	// boundaries in fluidanimate). Zero disables.
+	BarrierEvery int
+	// CondGroup bounds how many threads share one condvar handoff group
+	// for SyncCond (pipeline stages synchronize locally, not globally).
+	// Zero means all threads converge (a global condvar barrier).
+	CondGroup int
+
+	// Imbalance is the spread of per-thread work within a round: thread
+	// work is scaled by 1 +/- Imbalance. Uneven programs benefit from
+	// oversubscription (finer chunks balance better, cf. facesim §4.2).
+	Imbalance float64
+
+	// TotalWS, Pattern, and MemBound describe the memory envelope: the
+	// shared data is TotalWS bytes split evenly among threads, accessed
+	// with Pattern, and MemBound of the compute time scales with the
+	// per-access cost of the thread's share.
+	TotalWS  int64
+	Pattern  mem.Pattern
+	MemBound float64
+
+	// TightLoopEvery/TightLoopLen inject occasional miss-free repeating
+	// loops into compute (BWD's false-positive source, Table 3). Zero
+	// disables.
+	TightLoopEvery sim.Duration
+	TightLoopLen   sim.Duration
+
+	// SpinChunk is the per-handoff work of SyncCustomSpin rings; smaller
+	// chunks mean a longer relative stall when the successor is
+	// descheduled (lu's 25x collapse vs volrend's 10x).
+	SpinChunk sim.Duration
+}
+
+// Interval returns the expected compute time between synchronization
+// operations for one thread at the given concurrency (Figure 3's metric).
+func (s *Spec) Interval(threads int) sim.Duration {
+	if s.Rounds == 0 || threads == 0 {
+		return 0
+	}
+	return s.TotalWork / sim.Duration(s.Rounds*threads)
+}
+
+const (
+	kb = int64(1) << 10
+	mb = int64(1) << 20
+)
+
+// Suite returns the full 32-program suite in the paper's Figure 1 order.
+func Suite() []*Spec {
+	return []*Spec{
+		// ---- Group 1: unaffected by oversubscription ----
+		{Name: "blackscholes", Suite: "parsec", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 320 * sim.Millisecond, Rounds: 12, Imbalance: 0.05,
+			TotalWS: 4 * mb, Pattern: mem.SeqRead, MemBound: 0.2},
+		{Name: "canneal", Suite: "parsec", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncNone,
+			TotalWork: 360 * sim.Millisecond, Rounds: 8, Imbalance: 0.08,
+			TotalWS: 64 * mb, Pattern: mem.RndRead, MemBound: 0.35},
+		{Name: "ferret", Suite: "parsec", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncCond,
+			TotalWork: 340 * sim.Millisecond, Rounds: 160, CriticalSection: 2 * sim.Microsecond, CondGroup: 8, NLocks: 8, Imbalance: 0.1,
+			TotalWS: 8 * mb, Pattern: mem.RndRead, MemBound: 0.2},
+		{Name: "swaptions", Suite: "parsec", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncNone,
+			TotalWork: 340 * sim.Millisecond, Rounds: 4, Imbalance: 0.05,
+			TotalWS: 2 * mb, Pattern: mem.SeqRead, MemBound: 0.1},
+		{Name: "vips", Suite: "parsec", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncCond,
+			TotalWork: 330 * sim.Millisecond, Rounds: 220, CriticalSection: 2 * sim.Microsecond, CondGroup: 8, NLocks: 4, Imbalance: 0.08,
+			TotalWS: 16 * mb, Pattern: mem.SeqRMW, MemBound: 0.25},
+		{Name: "barnes", Suite: "splash2", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 350 * sim.Millisecond, Rounds: 20, Imbalance: 0.1,
+			TotalWS: 16 * mb, Pattern: mem.RndRead, MemBound: 0.25},
+		{Name: "fft", Suite: "splash2", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 300 * sim.Millisecond, Rounds: 10, Imbalance: 0.05,
+			TotalWS: 32 * mb, Pattern: mem.SeqRMW, MemBound: 0.3},
+		{Name: "fmm", Suite: "splash2", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 330 * sim.Millisecond, Rounds: 16, Imbalance: 0.1,
+			TotalWS: 12 * mb, Pattern: mem.RndRead, MemBound: 0.2},
+		{Name: "radiosity", Suite: "splash2", Group: GroupNeutral, OptimalThreads: 16, Sync: SyncMutex,
+			TotalWork: 320 * sim.Millisecond, Rounds: 200, CriticalSection: 1500 * sim.Nanosecond, NLocks: 32, Imbalance: 0.12,
+			TotalWS: 8 * mb, Pattern: mem.RndRead, MemBound: 0.15},
+		{Name: "raytrace", Suite: "splash2", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncMutex,
+			TotalWork: 330 * sim.Millisecond, Rounds: 150, CriticalSection: 1 * sim.Microsecond, NLocks: 16, Imbalance: 0.1,
+			TotalWS: 24 * mb, Pattern: mem.RndRead, MemBound: 0.2},
+		{Name: "ep", Suite: "npb", Group: GroupNeutral, OptimalThreads: 32, Sync: SyncNone,
+			TotalWork: 380 * sim.Millisecond, Rounds: 2, Imbalance: 0.04,
+			TotalWS: 1 * mb, Pattern: mem.SeqRead, MemBound: 0.05,
+			TightLoopEvery: 60 * sim.Millisecond, TightLoopLen: 150 * sim.Microsecond},
+
+		// ---- Group 2: benefit from oversubscription ----
+		{Name: "bodytrack", Suite: "parsec", Group: GroupBenefit, OptimalThreads: 32, Sync: SyncCond,
+			TotalWork: 330 * sim.Millisecond, Rounds: 120, CriticalSection: 2 * sim.Microsecond, CondGroup: 8, NLocks: 4, Imbalance: 0.35,
+			TotalWS: 24 * mb, Pattern: mem.RndRead, MemBound: 0.3},
+		{Name: "facesim", Suite: "parsec", Group: GroupBenefit, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 340 * sim.Millisecond, Rounds: 64, Imbalance: 0.45,
+			TotalWS: 48 * mb, Pattern: mem.RndRMW, MemBound: 0.3},
+		{Name: "x264", Suite: "parsec", Group: GroupBenefit, OptimalThreads: 32, Sync: SyncCond,
+			TotalWork: 320 * sim.Millisecond, Rounds: 100, CriticalSection: 3 * sim.Microsecond, CondGroup: 8, NLocks: 8, Imbalance: 0.4,
+			TotalWS: 32 * mb, Pattern: mem.RndRead, MemBound: 0.25},
+		{Name: "water", Suite: "splash2", Group: GroupBenefit, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 320 * sim.Millisecond, Rounds: 24, Imbalance: 0.3,
+			TotalWS: 16 * mb, Pattern: mem.RndRMW, MemBound: 0.3},
+		{Name: "dedup", Suite: "parsec", Group: GroupSuffer, OptimalThreads: 24, Sync: SyncCond,
+			TotalWork: 300 * sim.Millisecond, Rounds: 700, CriticalSection: 4 * sim.Microsecond, CondGroup: 4, NLocks: 4, Imbalance: 0.2,
+			TotalWS: 48 * mb, Pattern: mem.SeqRead, MemBound: 0.2},
+
+		// ---- Group 3: suffer under oversubscription (blocking) ----
+		{Name: "fluidanimate", Suite: "parsec", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncMutex,
+			TotalWork: 320 * sim.Millisecond, Rounds: 900, CriticalSection: 2 * sim.Microsecond,
+			NLocks: 32, LocksScaleWithThreads: true, BarrierEvery: 45, Imbalance: 0.15,
+			TotalWS: 32 * mb, Pattern: mem.RndRMW, MemBound: 0.2},
+		{Name: "freqmine", Suite: "parsec", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 330 * sim.Millisecond, Rounds: 150, Imbalance: 0.3,
+			TotalWS: 40 * mb, Pattern: mem.RndRead, MemBound: 0.3},
+		{Name: "streamcluster", Suite: "parsec", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 300 * sim.Millisecond, Rounds: 300, Imbalance: 0.1,
+			TotalWS: 16 * mb, Pattern: mem.SeqRead, MemBound: 0.25},
+		{Name: "cholesky", Suite: "splash2", Group: GroupSuffer, OptimalThreads: 16, Sync: SyncBarrier,
+			TotalWork: 140 * sim.Millisecond, Rounds: 60, Imbalance: 0.2,
+			TotalWS: 16 * mb, Pattern: mem.RndRead, MemBound: 0.25},
+		{Name: "lu_cb", Suite: "splash2", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 320 * sim.Millisecond, Rounds: 80, Imbalance: 0.15,
+			TotalWS: 24 * mb, Pattern: mem.SeqRMW, MemBound: 0.3},
+		{Name: "ocean", Suite: "splash2", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 330 * sim.Millisecond, Rounds: 220, Imbalance: 0.3,
+			TotalWS: 56 * mb, Pattern: mem.RndRMW, MemBound: 0.3},
+		{Name: "radix", Suite: "splash2", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 300 * sim.Millisecond, Rounds: 30, Imbalance: 0.1,
+			TotalWS: 48 * mb, Pattern: mem.SeqRMW, MemBound: 0.3},
+		{Name: "volrend", Suite: "splash2", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncCustomSpin,
+			TotalWork: 130 * sim.Millisecond, Rounds: 56, Imbalance: 0.1, SpinChunk: 150 * sim.Microsecond,
+			TotalWS: 16 * mb, Pattern: mem.RndRead, MemBound: 0.2},
+		{Name: "is", Suite: "npb", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 300 * sim.Millisecond, Rounds: 80, Imbalance: 0.08,
+			TotalWS: 64 * mb, Pattern: mem.RndRMW, MemBound: 0.35,
+			TightLoopEvery: 12 * sim.Millisecond, TightLoopLen: 120 * sim.Microsecond},
+		{Name: "cg", Suite: "npb", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 330 * sim.Millisecond, Rounds: 220, Imbalance: 0.3,
+			TotalWS: 48 * mb, Pattern: mem.RndRead, MemBound: 0.4,
+			TightLoopEvery: 9 * sim.Millisecond, TightLoopLen: 130 * sim.Microsecond},
+		{Name: "mg", Suite: "npb", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 330 * sim.Millisecond, Rounds: 170, Imbalance: 0.3,
+			TotalWS: 56 * mb, Pattern: mem.SeqRMW, MemBound: 0.35,
+			TightLoopEvery: 25 * sim.Millisecond, TightLoopLen: 120 * sim.Microsecond},
+		{Name: "ft", Suite: "npb", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 320 * sim.Millisecond, Rounds: 35, Imbalance: 0.1,
+			TotalWS: 64 * mb, Pattern: mem.SeqRMW, MemBound: 0.35,
+			TightLoopEvery: 80 * sim.Millisecond, TightLoopLen: 110 * sim.Microsecond},
+		{Name: "sp", Suite: "npb", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 340 * sim.Millisecond, Rounds: 140, Imbalance: 0.15,
+			TotalWS: 48 * mb, Pattern: mem.SeqRMW, MemBound: 0.3,
+			TightLoopEvery: 120 * sim.Millisecond, TightLoopLen: 100 * sim.Microsecond},
+		{Name: "bt", Suite: "npb", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 340 * sim.Millisecond, Rounds: 110, Imbalance: 0.12,
+			TotalWS: 48 * mb, Pattern: mem.SeqRMW, MemBound: 0.3,
+			TightLoopEvery: 45 * sim.Millisecond, TightLoopLen: 110 * sim.Microsecond},
+		{Name: "ua", Suite: "npb", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncBarrier,
+			TotalWork: 330 * sim.Millisecond, Rounds: 200, Imbalance: 0.2,
+			TotalWS: 40 * mb, Pattern: mem.RndRMW, MemBound: 0.3,
+			TightLoopEvery: 70 * sim.Millisecond, TightLoopLen: 100 * sim.Microsecond},
+		{Name: "lu", Suite: "npb", Group: GroupSuffer, OptimalThreads: 32, Sync: SyncCustomSpin,
+			TotalWork: 120 * sim.Millisecond, Rounds: 160, Imbalance: 0.05, SpinChunk: 25 * sim.Microsecond,
+			TotalWS: 32 * mb, Pattern: mem.SeqRMW, MemBound: 0.2},
+	}
+}
+
+// Find returns the spec with the given name, or nil.
+func Find(name string) *Spec {
+	for _, s := range Suite() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// ByNames returns specs in the order given, panicking on unknown names.
+func ByNames(names ...string) []*Spec {
+	out := make([]*Spec, len(names))
+	for i, n := range names {
+		s := Find(n)
+		if s == nil {
+			panic("workload: unknown benchmark " + n)
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// Fig9Benchmarks are the 13 blocking-synchronization programs of Figure 9
+// and Table 1.
+func Fig9Benchmarks() []*Spec {
+	return ByNames("fluidanimate", "freqmine", "streamcluster", "lu_cb",
+		"ocean", "radix", "is", "cg", "mg", "ft", "sp", "bt", "ua")
+}
+
+// Fig11Benchmarks are the five runtime-adaptation programs of Figure 11.
+func Fig11Benchmarks() []*Spec {
+	return ByNames("ep", "facesim", "streamcluster", "ocean", "cg")
+}
+
+// Table3Benchmarks are the eight spin-free NPB programs used for the
+// false-positive study.
+func Table3Benchmarks() []*Spec {
+	return ByNames("is", "ep", "cg", "mg", "ft", "sp", "bt", "ua")
+}
+
+// Fig15Benchmarks are the five programs of the SHFLLOCK comparison.
+func Fig15Benchmarks() []*Spec {
+	return ByNames("freqmine", "streamcluster", "lu_cb", "ocean", "radix")
+}

@@ -1,0 +1,139 @@
+package oversub
+
+import (
+	"testing"
+)
+
+func TestSystemQuickstart(t *testing.T) {
+	sys := NewSystem(SystemConfig{Cores: 4, Seed: 1})
+	b := sys.NewBarrier(8)
+	done := 0
+	for i := 0; i < 8; i++ {
+		sys.Spawn("w", func(th *Thread) {
+			for r := 0; r < 10; r++ {
+				th.Run(100 * Microsecond)
+				b.Await(th)
+			}
+			done++
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if done != 8 {
+		t.Fatalf("done = %d, want 8", done)
+	}
+	if sys.Metrics().FutexWaits == 0 {
+		t.Error("barrier never used futex")
+	}
+}
+
+func TestSystemVBFeature(t *testing.T) {
+	run := func(vb bool) (Duration, Metrics) {
+		sys := NewSystem(SystemConfig{Cores: 1, Features: Features{VB: vb}, Seed: 2})
+		b := sys.NewBarrier(16)
+		for i := 0; i < 16; i++ {
+			sys.Spawn("w", func(th *Thread) {
+				for r := 0; r < 40; r++ {
+					th.Run(10 * Microsecond)
+					b.Await(th)
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return Duration(sys.Now()), sys.Metrics()
+	}
+	tVan, mVan := run(false)
+	tVB, mVB := run(true)
+	if tVB >= tVan {
+		t.Errorf("VB (%v) not faster than vanilla (%v)", tVB, tVan)
+	}
+	if mVB.VBWakes == 0 || mVan.VBWakes != 0 {
+		t.Errorf("VBWakes = %d/%d, want >0 with VB only", mVB.VBWakes, mVan.VBWakes)
+	}
+}
+
+func TestSystemDetector(t *testing.T) {
+	sys := NewSystem(SystemConfig{Cores: 1, Detect: DetectBWD, Seed: 3})
+	flag := sys.NewWord(0)
+	sig := NewSpinSig(0x5000, 4, false)
+	sys.Spawn("spinner", func(th *Thread) {
+		th.SpinUntil(func() bool { return flag.Load() == 1 }, sig)
+	})
+	sys.Spawn("worker", func(th *Thread) {
+		th.Run(5 * Millisecond)
+		flag.Store(1)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Detector() == nil || sys.Detector().Stats.Detections == 0 {
+		t.Error("BWD detector never fired")
+	}
+}
+
+func TestSystemElasticity(t *testing.T) {
+	sys := NewSystem(SystemConfig{Cores: 2, MaxCores: 8, Seed: 4})
+	for i := 0; i < 8; i++ {
+		sys.Spawn("w", func(th *Thread) { th.Run(10 * Millisecond) })
+	}
+	sys.Engine().After(5*Millisecond, func() { sys.SetCores(8) })
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 80ms of work: 2 cores would need 40ms; growing to 8 at t=5ms gives
+	// roughly 5 + (80-10)/8 = ~14ms.
+	if now := sys.Now(); now > Time(25*Millisecond) {
+		t.Errorf("elastic run took %v, expansion not exploited", now)
+	}
+}
+
+func TestSystemLockConstructors(t *testing.T) {
+	sys := NewSystem(SystemConfig{Cores: 2, Seed: 5})
+	if got := len(sys.SpinLocks()); got != 10 {
+		t.Fatalf("SpinLocks = %d, want 10", got)
+	}
+	lockers := append(sys.SpinLocks(), sys.NewMutexee(), sys.NewMCSTP(), sys.NewShfllock())
+	count := 0
+	for _, l := range lockers {
+		l := l
+		sys.Spawn("t", func(th *Thread) {
+			l.Lock(th)
+			count++
+			th.Run(Microsecond)
+			l.Unlock(th)
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != len(lockers) {
+		t.Errorf("count = %d, want %d", count, len(lockers))
+	}
+}
+
+func TestBenchmarkSubAPI(t *testing.T) {
+	if len(Benchmarks()) != 32 {
+		t.Fatalf("Benchmarks = %d, want 32", len(Benchmarks()))
+	}
+	spec := FindBenchmark("ep")
+	if spec == nil {
+		t.Fatal("ep not found")
+	}
+	r := RunBenchmark(spec, BenchConfig{Threads: 8, Cores: 8, Seed: 1})
+	if r.Err != nil || r.ExecTime <= 0 {
+		t.Fatalf("ep run failed: %+v", r)
+	}
+	if len(SpinLockKinds()) != 10 {
+		t.Error("want 10 spinlock kinds")
+	}
+}
+
+func TestMemcachedSubAPI(t *testing.T) {
+	r := RunMemcached(MemcachedConfig{Workers: 4, Cores: 4, Requests: 1000, Seed: 1})
+	if r.Served != 1000 || r.ThroughputOpsSec <= 0 || r.P99 < r.P95 {
+		t.Fatalf("memcached run implausible: %+v", r)
+	}
+}
