@@ -1,0 +1,29 @@
+#!/bin/sh
+# ci.sh — the repo's gate: formatting, vet, build, tests, and the race
+# detector (the runner fans simulation runs across OS threads, so every
+# test also runs under -race).
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI passed."

@@ -4,29 +4,37 @@ import (
 	"fmt"
 
 	"oversub"
+	"oversub/internal/workload"
 )
 
 // fig1 reproduces Figure 1: normalized execution time of the whole suite
 // with 8 and 32 threads on 8 cores under the vanilla kernel.
-func fig1(o options) {
+func fig1(e *env) {
+	o := e.o
 	scale := o.scale
 	if o.quick {
 		scale *= 0.3
 	}
-	fmt.Fprintf(out, "%-14s %-8s %8s %8s   %s\n", "benchmark", "suite", "8T", "32T", "group")
-	for _, spec := range oversub.Benchmarks() {
-		base := oversub.RunBenchmark(spec, oversub.BenchConfig{
+	specs := oversub.Benchmarks()
+	type row struct{ base, over benchFuture }
+	rows := make([]row, len(specs))
+	for i, spec := range specs {
+		rows[i].base = e.bench(spec, oversub.BenchConfig{
 			Threads: 8, Cores: 8, Seed: o.seed, WorkScale: scale,
 		})
-		over := oversub.RunBenchmark(spec, oversub.BenchConfig{
+		rows[i].over = e.bench(spec, oversub.BenchConfig{
 			Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
 		})
+	}
+	fmt.Fprintf(e.out, "%-14s %-8s %8s %8s   %s\n", "benchmark", "suite", "8T", "32T", "group")
+	for i, spec := range specs {
+		base, over := rows[i].base.wait(), rows[i].over.wait()
 		group := map[oversub.Group]string{
 			oversub.GroupNeutral: "unaffected",
 			oversub.GroupBenefit: "benefits",
 			oversub.GroupSuffer:  "suffers",
 		}[spec.Group]
-		fmt.Fprintf(out, "%-14s %-8s %8.2f %8.2f   %s\n",
+		fmt.Fprintf(e.out, "%-14s %-8s %8.2f %8.2f   %s\n",
 			spec.Name, spec.Suite, 1.0,
 			float64(over.ExecTime)/float64(base.ExecTime), group)
 	}
@@ -34,37 +42,46 @@ func fig1(o options) {
 
 // fig2 reproduces Figure 2: pure computation and computation with a shared
 // atomic, 1-8 threads on a single core, yielding every minimum time slice.
-func fig2(o options) {
-	fmt.Fprintf(out, "%-8s %12s %12s %14s %12s\n",
+func fig2(e *env) {
+	const maxThreads = 8
+	type pair struct {
+		pure, atomic future[workload.DirectCostResult]
+	}
+	rows := make([]pair, maxThreads+1)
+	for n := 1; n <= maxThreads; n++ {
+		rows[n] = pair{e.direct(n, false), e.direct(n, true)}
+	}
+	fmt.Fprintf(e.out, "%-8s %12s %12s %14s %12s\n",
 		"threads", "pure(norm)", "atomic(norm)", "switches", "perCS(ns)")
-	base := oversub.DirectCost(1, false, o.seed)
-	baseAtomic := oversub.DirectCost(1, true, o.seed)
-	for n := 1; n <= 8; n++ {
-		r := oversub.DirectCost(n, false, o.seed)
-		ra := oversub.DirectCost(n, true, o.seed)
+	base := rows[1].pure.wait()
+	baseAtomic := rows[1].atomic.wait()
+	for n := 1; n <= maxThreads; n++ {
+		r := rows[n].pure.wait()
+		ra := rows[n].atomic.wait()
 		perCS := 0.0
 		if r.Switches > 0 {
 			perCS = float64(r.ExecTime-base.ExecTime) / float64(r.Switches)
 		}
-		fmt.Fprintf(out, "%-8d %12.4f %12.4f %14d %12.0f\n",
+		fmt.Fprintf(e.out, "%-8d %12.4f %12.4f %14d %12.0f\n",
 			n,
 			float64(r.ExecTime)/float64(base.ExecTime),
 			float64(ra.ExecTime)/float64(baseAtomic.ExecTime),
 			r.Switches, perCS)
 	}
-	fmt.Fprintln(out, "\n(paper: ~1.5us per switch, ~0.2% total overhead, flat in thread count;")
-	fmt.Fprintln(out, " the shared atomic adds no oversubscription penalty)")
+	fmt.Fprintln(e.out, "\n(paper: ~1.5us per switch, ~0.2% total overhead, flat in thread count;")
+	fmt.Fprintln(e.out, " the shared atomic adds no oversubscription penalty)")
 }
 
 // fig3 reproduces Figure 3: the distribution of compute intervals between
 // synchronization operations across the suite at optimal thread counts.
 // Model times are compressed ~8x relative to the testbed; the paper-scale
-// column multiplies back for comparison.
-func fig3(o options) {
+// column multiplies back for comparison. Purely static — no runs to fan
+// out.
+func fig3(e *env) {
 	const modelToPaper = 8.0
 	buckets := make([]int, 10)
 	width := 25.0 // us per bucket at model scale
-	fmt.Fprintf(out, "%-14s %14s %16s\n", "benchmark", "interval(model)", "interval(paper~)")
+	fmt.Fprintf(e.out, "%-14s %14s %16s\n", "benchmark", "interval(model)", "interval(paper~)")
 	for _, spec := range oversub.Benchmarks() {
 		if spec.Sync == 0 { // SyncNone
 			continue
@@ -76,15 +93,15 @@ func fig3(o options) {
 			idx = len(buckets) - 1
 		}
 		buckets[idx]++
-		fmt.Fprintf(out, "%-14s %12.1fus %14.0fus\n", spec.Name, us, us*modelToPaper)
+		fmt.Fprintf(e.out, "%-14s %12.1fus %14.0fus\n", spec.Name, us, us*modelToPaper)
 	}
-	fmt.Fprintln(out, "\nhistogram (programs per interval bucket, model scale):")
+	fmt.Fprintln(e.out, "\nhistogram (programs per interval bucket, model scale):")
 	for i, c := range buckets {
 		label := fmt.Sprintf("%3.0f-%3.0fus", float64(i)*width, float64(i+1)*width)
 		if i == len(buckets)-1 {
 			label = fmt.Sprintf(">=%3.0fus  ", float64(i)*width)
 		}
-		fmt.Fprintf(out, "  %s %s (%d)\n", label, bar(c), c)
+		fmt.Fprintf(e.out, "  %s %s (%d)\n", label, bar(c), c)
 	}
 }
 
@@ -98,7 +115,7 @@ func bar(n int) string {
 
 // fig4 reproduces Figure 4: the indirect cost of a context switch for the
 // four access patterns as the total array size grows.
-func fig4(o options) {
+func fig4(e *env) {
 	patterns := []oversub.Pattern{
 		oversub.SeqRead, oversub.SeqRMW, oversub.RndRead, oversub.RndRMW,
 	}
@@ -107,22 +124,29 @@ func fig4(o options) {
 		1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20,
 		32 << 20, 64 << 20, 128 << 20,
 	}
-	if o.quick {
+	if e.o.quick {
 		sizes = []int64{256 << 10, 512 << 10, 2 << 20, 8 << 20, 32 << 20, 128 << 20}
 	}
-	fmt.Fprintf(out, "%-10s %12s %12s %12s %12s   (indirect cost per switch, us)\n",
-		"size", "seq-r", "seq-rmw", "rnd-r", "rnd-rmw")
-	for _, size := range sizes {
-		fmt.Fprintf(out, "%-10s", humanBytes(size))
-		for _, p := range patterns {
-			r := oversub.IndirectCost(p, size, o.seed)
-			fmt.Fprintf(out, " %12.2f", r.PerCS/1000)
+	futs := make([][]future[workload.IndirectCostResult], len(sizes))
+	for si, size := range sizes {
+		futs[si] = make([]future[workload.IndirectCostResult], len(patterns))
+		for pi, p := range patterns {
+			futs[si][pi] = e.indirect(p, size)
 		}
-		fmt.Fprintln(out)
 	}
-	fmt.Fprintln(out, "\n(negative = oversubscription helps; paper: seq grows to ~1ms at 128MB,")
-	fmt.Fprintln(out, " rnd-r dips at the L1-TLB fit, rises in 1-4MB, falls beyond; rnd-rmw")
-	fmt.Fprintln(out, " always favourable at scale)")
+	fmt.Fprintf(e.out, "%-10s %12s %12s %12s %12s   (indirect cost per switch, us)\n",
+		"size", "seq-r", "seq-rmw", "rnd-r", "rnd-rmw")
+	for si, size := range sizes {
+		fmt.Fprintf(e.out, "%-10s", humanBytes(size))
+		for pi := range patterns {
+			r := futs[si][pi].wait()
+			fmt.Fprintf(e.out, " %12.2f", r.PerCS/1000)
+		}
+		fmt.Fprintln(e.out)
+	}
+	fmt.Fprintln(e.out, "\n(negative = oversubscription helps; paper: seq grows to ~1ms at 128MB,")
+	fmt.Fprintln(e.out, " rnd-r dips at the L1-TLB fit, rises in 1-4MB, falls beyond; rnd-rmw")
+	fmt.Fprintln(e.out, " always favourable at scale)")
 }
 
 func humanBytes(b int64) string {

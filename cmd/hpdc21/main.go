@@ -10,35 +10,44 @@
 // Experiments: fig1 fig2 fig3 fig4 fig9 fig10 tab1 fig11 fig12 fig13 fig14
 // tab2 tab3 fig15.
 //
+// Runs fan out across -jobs OS threads (every simulation run is an
+// independent single-threaded engine), and results are merged back in
+// submission order, so output is byte-identical to a serial run. Completed
+// runs are cached under results/cache keyed by their full configuration;
+// rerunning recomputes only what changed (-nocache to disable). Progress
+// heartbeats go to stderr.
+//
 // Absolute times are model outputs at a compressed scale (~1000x smaller
 // problems than the paper's testbed); the comparisons of interest — who
 // wins, by what factor, where crossovers fall — are what the tool reports.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
+
+	"oversub/internal/runner"
 )
 
-// out is the destination every experiment prints to; main points it at
-// stdout, or at stdout plus a per-experiment file under -out.
-var out io.Writer = os.Stdout
-
 type options struct {
-	seed   uint64
-	scale  float64
-	quick  bool
-	outDir string
+	seed    uint64
+	scale   float64
+	quick   bool
+	outDir  string
+	timeout time.Duration
 }
 
 type experiment struct {
 	name  string
 	title string
-	run   func(o options)
+	run   func(e *env)
 }
 
 var experiments = []experiment{
@@ -60,10 +69,19 @@ var experiments = []experiment{
 
 func main() {
 	o := options{}
+	var (
+		jobs     int
+		nocache  bool
+		cacheDir string
+	)
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.Float64Var(&o.scale, "scale", 1.0, "work scale factor for suite benchmarks")
 	flag.BoolVar(&o.quick, "quick", false, "reduced problem sizes for a fast pass")
 	flag.StringVar(&o.outDir, "out", "", "also write each experiment's output to <dir>/<name>.txt")
+	flag.DurationVar(&o.timeout, "timeout", 0, "per-run host wall-clock budget (0 = unbounded)")
+	flag.IntVar(&jobs, "jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
+	flag.BoolVar(&nocache, "nocache", false, "ignore and do not write the result cache")
+	flag.StringVar(&cacheDir, "cache", filepath.Join("results", "cache"), "result cache directory")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -72,51 +90,97 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	var selected []experiment
 	if len(args) == 1 && args[0] == "all" {
-		for _, e := range experiments {
-			runExperiment(e, o)
-		}
-		return
-	}
-	for _, a := range args {
-		found := false
-		for _, e := range experiments {
-			if e.name == a {
-				runExperiment(e, o)
-				found = true
-				break
+		selected = experiments
+	} else {
+		for _, a := range args {
+			found := false
+			for _, e := range experiments {
+				if e.name == a {
+					selected = append(selected, e)
+					found = true
+					break
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
+				os.Exit(2)
 			}
 		}
-		if !found {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
-			os.Exit(2)
+	}
+
+	var cache *runner.Cache
+	if !nocache {
+		c, err := runner.OpenCache(cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hpdc21: cache disabled: %v\n", err)
+		} else {
+			cache = c
 		}
 	}
+	pool := runner.New(jobs)
+	rep := runner.StartReporter(pool, os.Stderr, 2*time.Second)
+	os.Exit(func() int {
+		defer pool.Close()
+		defer rep.Stop()
+		return runExperiments(selected, o, pool, cache)
+	}())
 }
 
-// runExperiment executes one experiment, teeing its output to a file when
-// -out is set.
-func runExperiment(e experiment, o options) {
-	out = os.Stdout
-	var f *os.File
-	if o.outDir != "" {
-		if err := os.MkdirAll(o.outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		var err error
-		f, err = os.Create(filepath.Join(o.outDir, e.name+".txt"))
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		out = io.MultiWriter(os.Stdout, f)
+// runExperiments renders every selected experiment into its own buffer on
+// the shared pool (each experiment further fans its runs out on the same
+// pool) and prints the buffers in selection order — parallel execution,
+// byte-identical output. An experiment that fails is reported on stderr
+// and skipped without stopping its siblings.
+func runExperiments(selected []experiment, o options, pool *runner.Pool, cache *runner.Cache) int {
+	bufs := make([]*bytes.Buffer, len(selected))
+	futs := make([]*runner.Future, len(selected))
+	for i, ex := range selected {
+		ex := ex
+		buf := &bytes.Buffer{}
+		bufs[i] = buf
+		futs[i] = pool.Submit(nil, runner.Job{Label: ex.name, Fn: func(context.Context) (any, error) {
+			banner(buf, ex.title)
+			ex.run(&env{o: o, out: buf, pool: pool, cache: cache})
+			return nil, nil
+		}})
 	}
-	banner(e.title)
-	e.run(o)
-	if f != nil {
-		f.Close()
+	exit := 0
+	for i, ex := range selected {
+		if r := futs[i].Wait(); r.Err != nil {
+			fmt.Fprintf(os.Stderr, "hpdc21: experiment %s failed: %v\n", ex.name, r.Err)
+			exit = 1
+			continue
+		}
+		if err := emit(ex, o, bufs[i].Bytes()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			exit = 1
+		}
 	}
+	if cache != nil {
+		h, m := cache.Counts()
+		fmt.Fprintf(os.Stderr, "hpdc21: cache %d hits, %d misses (%s)\n", h, m, cache.Dir())
+	}
+	return exit
+}
+
+// emit prints one experiment's rendered output and, under -out, tees it to
+// <dir>/<name>.txt, creating the directory and naming the experiment and
+// path in any error.
+func emit(e experiment, o options, data []byte) error {
+	os.Stdout.Write(data)
+	if o.outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(o.outDir, 0o755); err != nil {
+		return fmt.Errorf("hpdc21: %s: create output directory %s: %w", e.name, o.outDir, err)
+	}
+	path := filepath.Join(o.outDir, e.name+".txt")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("hpdc21: %s: write output file %s: %w", e.name, path, err)
+	}
+	return nil
 }
 
 func usage() {
@@ -128,8 +192,8 @@ func usage() {
 	flag.PrintDefaults()
 }
 
-func banner(title string) {
-	fmt.Fprintln(out)
-	fmt.Fprintln(out, title)
-	fmt.Fprintln(out, strings.Repeat("=", len(title)))
+func banner(w io.Writer, title string) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", len(title)))
 }

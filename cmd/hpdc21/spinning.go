@@ -4,116 +4,170 @@ import (
 	"fmt"
 
 	"oversub"
+	"oversub/internal/workload"
 )
 
 // fig13 reproduces Figure 13: the ten spinlocks under the pipeline
 // micro-benchmark, in containers (no hardware spin detection exists) and
 // in KVM VMs (where PLE is available but only sees PAUSE loops).
-func fig13(o options) {
-	fmt.Fprintln(out, "(a) container (execution time, ms)")
-	fmt.Fprintf(out, "%-12s %12s %12s %14s\n", "lock", "8T(van)", "32T(van)", "32T(optimized)")
-	for _, kind := range oversub.SpinLockKinds() {
-		base := oversub.SpinPipeline(kind, 8, 8, oversub.DetectOff, false, o.seed)
-		van := oversub.SpinPipeline(kind, 32, 8, oversub.DetectOff, false, o.seed)
-		opt := oversub.SpinPipeline(kind, 32, 8, oversub.DetectBWD, false, o.seed)
-		fmt.Fprintf(out, "%-12s %12.1f %12.1f %14.1f\n", kind,
-			base.ExecTime.Millis(), van.ExecTime.Millis(), opt.ExecTime.Millis())
+func fig13(e *env) {
+	kinds := oversub.SpinLockKinds()
+	type contRow struct {
+		base, van, opt future[workload.SpinPipelineResult]
+	}
+	type kvmRow struct {
+		base, van, ple, opt future[workload.SpinPipelineResult]
+	}
+	cont := make([]contRow, len(kinds))
+	kvm := make([]kvmRow, len(kinds))
+	for ki, kind := range kinds {
+		cont[ki] = contRow{
+			base: e.spin(kind, 8, 8, oversub.DetectOff, false),
+			van:  e.spin(kind, 32, 8, oversub.DetectOff, false),
+			opt:  e.spin(kind, 32, 8, oversub.DetectBWD, false),
+		}
+		kvm[ki] = kvmRow{
+			base: e.spin(kind, 8, 8, oversub.DetectOff, true),
+			van:  e.spin(kind, 32, 8, oversub.DetectOff, true),
+			ple:  e.spin(kind, 32, 8, oversub.DetectPLE, true),
+			opt:  e.spin(kind, 32, 8, oversub.DetectBWD, true),
+		}
 	}
 
-	fmt.Fprintln(out, "\n(b) KVM (execution time, ms)")
-	fmt.Fprintf(out, "%-12s %12s %12s %12s %14s\n", "lock", "8T(van)", "32T(van)", "32T(PLE)", "32T(optimized)")
-	for _, kind := range oversub.SpinLockKinds() {
-		base := oversub.SpinPipeline(kind, 8, 8, oversub.DetectOff, true, o.seed)
-		van := oversub.SpinPipeline(kind, 32, 8, oversub.DetectOff, true, o.seed)
-		ple := oversub.SpinPipeline(kind, 32, 8, oversub.DetectPLE, true, o.seed)
-		opt := oversub.SpinPipeline(kind, 32, 8, oversub.DetectBWD, true, o.seed)
-		fmt.Fprintf(out, "%-12s %12.1f %12.1f %12.1f %14.1f\n", kind,
-			base.ExecTime.Millis(), van.ExecTime.Millis(),
-			ple.ExecTime.Millis(), opt.ExecTime.Millis())
+	fmt.Fprintln(e.out, "(a) container (execution time, ms)")
+	fmt.Fprintf(e.out, "%-12s %12s %12s %14s\n", "lock", "8T(van)", "32T(van)", "32T(optimized)")
+	for ki, kind := range kinds {
+		r := cont[ki]
+		fmt.Fprintf(e.out, "%-12s %12.1f %12.1f %14.1f\n", kind,
+			r.base.wait().ExecTime.Millis(), r.van.wait().ExecTime.Millis(),
+			r.opt.wait().ExecTime.Millis())
 	}
-	fmt.Fprintln(out, "\n(paper: BWD restores 32T near the 8T baseline for every algorithm;")
-	fmt.Fprintln(out, " PLE tracks vanilla — it cannot see loops without PAUSE)")
+
+	fmt.Fprintln(e.out, "\n(b) KVM (execution time, ms)")
+	fmt.Fprintf(e.out, "%-12s %12s %12s %12s %14s\n", "lock", "8T(van)", "32T(van)", "32T(PLE)", "32T(optimized)")
+	for ki, kind := range kinds {
+		r := kvm[ki]
+		fmt.Fprintf(e.out, "%-12s %12.1f %12.1f %12.1f %14.1f\n", kind,
+			r.base.wait().ExecTime.Millis(), r.van.wait().ExecTime.Millis(),
+			r.ple.wait().ExecTime.Millis(), r.opt.wait().ExecTime.Millis())
+	}
+	fmt.Fprintln(e.out, "\n(paper: BWD restores 32T near the 8T baseline for every algorithm;")
+	fmt.Fprintln(e.out, " PLE tracks vanilla — it cannot see loops without PAUSE)")
 }
 
 // fig14 reproduces Figure 14: user-customized spinning in lu (NPB) and
 // volrend (SPLASH-2), 8-32 threads on 8 cores, container and VM.
-func fig14(o options) {
+func fig14(e *env) {
+	o := e.o
 	scale := o.scale
 	if o.quick {
 		scale *= 0.3
 	}
-	for _, name := range []string{"lu", "volrend"} {
+	names := []string{"lu", "volrend"}
+	envs := []struct {
+		label string
+		vm    bool
+	}{{"container", false}, {"VM", true}}
+	threadCounts := []int{8, 16, 32}
+	type row struct {
+		van, opt benchFuture
+		ple      benchFuture
+		hasPLE   bool
+	}
+	futs := make([][][]row, len(names))
+	for ni, name := range names {
 		spec := oversub.FindBenchmark(name)
-		for _, env := range []struct {
-			label string
-			vm    bool
-		}{{"container", false}, {"VM", true}} {
-			fmt.Fprintf(out, "\n-- %s, %s (execution time, ms) --\n", name, env.label)
-			if env.vm {
-				fmt.Fprintf(out, "%-8s %12s %12s %12s\n", "threads", "vanilla", "PLE", "optimized")
-			} else {
-				fmt.Fprintf(out, "%-8s %12s %12s %12s\n", "threads", "vanilla", "PLE", "optimized")
-			}
-			for _, threads := range []int{8, 16, 32} {
+		futs[ni] = make([][]row, len(envs))
+		for ei, env := range envs {
+			futs[ni][ei] = make([]row, len(threadCounts))
+			for ti, threads := range threadCounts {
 				feat := oversub.Features{VM: env.vm}
-				van := oversub.RunBenchmark(spec, oversub.BenchConfig{
-					Threads: threads, Cores: 8, Seed: o.seed, WorkScale: scale, Feat: feat,
-				})
-				pleStr := "n/a"
+				r := row{
+					van: e.bench(spec, oversub.BenchConfig{
+						Threads: threads, Cores: 8, Seed: o.seed, WorkScale: scale, Feat: feat,
+					}),
+					opt: e.bench(spec, oversub.BenchConfig{
+						Threads: threads, Cores: 8, Seed: o.seed, WorkScale: scale, Feat: feat,
+						Detect: oversub.DetectBWD,
+					}),
+				}
 				if env.vm {
-					ple := oversub.RunBenchmark(spec, oversub.BenchConfig{
+					r.hasPLE = true
+					r.ple = e.bench(spec, oversub.BenchConfig{
 						Threads: threads, Cores: 8, Seed: o.seed, WorkScale: scale, Feat: feat,
 						Detect: oversub.DetectPLE,
 					})
-					pleStr = fmt.Sprintf("%.1f", ple.ExecTime.Millis())
 				}
-				opt := oversub.RunBenchmark(spec, oversub.BenchConfig{
-					Threads: threads, Cores: 8, Seed: o.seed, WorkScale: scale, Feat: feat,
-					Detect: oversub.DetectBWD,
-				})
-				fmt.Fprintf(out, "%-8d %12.1f %12s %12.1f\n", threads,
-					van.ExecTime.Millis(), pleStr, opt.ExecTime.Millis())
+				futs[ni][ei][ti] = r
 			}
 		}
 	}
-	fmt.Fprintln(out, "\n(paper: vanilla collapses up to ~25x at 32T; BWD brings performance")
-	fmt.Fprintln(out, " near the undersubscribed level; PLE is blind to these plain test loops)")
+	for ni, name := range names {
+		for ei, env := range envs {
+			fmt.Fprintf(e.out, "\n-- %s, %s (execution time, ms) --\n", name, env.label)
+			fmt.Fprintf(e.out, "%-8s %12s %12s %12s\n", "threads", "vanilla", "PLE", "optimized")
+			for ti, threads := range threadCounts {
+				r := futs[ni][ei][ti]
+				pleStr := "n/a"
+				if r.hasPLE {
+					pleStr = fmt.Sprintf("%.1f", r.ple.wait().ExecTime.Millis())
+				}
+				fmt.Fprintf(e.out, "%-8d %12.1f %12s %12.1f\n", threads,
+					r.van.wait().ExecTime.Millis(), pleStr, r.opt.wait().ExecTime.Millis())
+			}
+		}
+	}
+	fmt.Fprintln(e.out, "\n(paper: vanilla collapses up to ~25x at 32T; BWD brings performance")
+	fmt.Fprintln(e.out, " near the undersubscribed level; PLE is blind to these plain test loops)")
 }
 
 // tab2 reproduces Table 2: BWD's true-positive rate per spinlock.
-func tab2(o options) {
+func tab2(e *env) {
 	tries := 4000
-	if o.quick {
+	if e.o.quick {
 		tries = 800
 	}
-	fmt.Fprintf(out, "%-12s %12s %12s %14s\n", "spinlock", "#tries", "#TPs", "sensitivity(%)")
-	for _, kind := range oversub.SpinLockKinds() {
-		r := oversub.Sensitivity(kind, tries, o.seed)
-		fmt.Fprintf(out, "%-12s %12d %12d %14.2f\n",
+	kinds := oversub.SpinLockKinds()
+	futs := make([]future[workload.SensitivityResult], len(kinds))
+	for ki, kind := range kinds {
+		futs[ki] = e.sens(kind, tries)
+	}
+	fmt.Fprintf(e.out, "%-12s %12s %12s %14s\n", "spinlock", "#tries", "#TPs", "sensitivity(%)")
+	for ki, kind := range kinds {
+		r := futs[ki].wait()
+		fmt.Fprintf(e.out, "%-12s %12d %12d %14.2f\n",
 			kind, r.Tries, r.TruePos, 100*r.Sensitivity)
 	}
-	fmt.Fprintln(out, "\n(paper: 99.76-99.90% across all ten algorithms)")
+	fmt.Fprintln(e.out, "\n(paper: 99.76-99.90% across all ten algorithms)")
 }
 
 // tab3 reproduces Table 3: BWD's false-positive rate and overhead on eight
 // blocking NPB benchmarks that contain no spinning.
-func tab3(o options) {
+func tab3(e *env) {
+	o := e.o
 	scale := o.scale
 	if o.quick {
 		scale *= 0.3
 	}
 	names := []string{"is", "ep", "cg", "mg", "ft", "sp", "bt", "ua"}
-	fmt.Fprintf(out, "%-6s %12s %10s %15s %15s\n",
-		"app", "#windows", "#FPs", "specificity(%)", "FP overhead(%)")
-	for _, name := range names {
+	type row struct{ off, on benchFuture }
+	rows := make([]row, len(names))
+	for ni, name := range names {
 		spec := oversub.FindBenchmark(name)
-		off := oversub.RunBenchmark(spec, oversub.BenchConfig{
-			Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
-		})
-		on := oversub.RunBenchmark(spec, oversub.BenchConfig{
-			Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
-			Detect: oversub.DetectBWD,
-		})
+		rows[ni] = row{
+			off: e.bench(spec, oversub.BenchConfig{
+				Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
+			}),
+			on: e.bench(spec, oversub.BenchConfig{
+				Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
+				Detect: oversub.DetectBWD,
+			}),
+		}
+	}
+	fmt.Fprintf(e.out, "%-6s %12s %10s %15s %15s\n",
+		"app", "#windows", "#FPs", "specificity(%)", "FP overhead(%)")
+	for ni, name := range names {
+		off, on := rows[ni].off.wait(), rows[ni].on.wait()
 		spec99 := 100.0
 		if on.BWD.Windows > 0 {
 			spec99 = 100 * (1 - float64(on.BWD.FalsePositive)/float64(on.BWD.Windows))
@@ -122,44 +176,63 @@ func tab3(o options) {
 		if overhead < 0 {
 			overhead = 0
 		}
-		fmt.Fprintf(out, "%-6s %12d %10d %15.2f %15.2f\n",
+		fmt.Fprintf(e.out, "%-6s %12d %10d %15.2f %15.2f\n",
 			name, on.BWD.Windows, on.BWD.FalsePositive, spec99, overhead)
 	}
-	fmt.Fprintln(out, "\n(paper: specificity 99.38-99.99%, FP overhead at most ~1%)")
+	fmt.Fprintln(e.out, "\n(paper: specificity 99.38-99.99%, FP overhead at most ~1%)")
 }
 
 // fig15 reproduces Figure 15: pthread vs Mutexee vs MCS-TP vs SHFLLOCK vs
 // the paper's mechanisms, 32 threads on 8 cores, normalized to 8T vanilla.
-func fig15(o options) {
+func fig15(e *env) {
+	o := e.o
 	scale := o.scale
 	if o.quick {
 		scale *= 0.3
 	}
 	names := []string{"freqmine", "streamcluster", "lu_cb", "ocean", "radix"}
 	impls := []string{"pthread", "mutexee", "mcstp", "shfllock"}
-	fmt.Fprintf(out, "%-14s", "benchmark")
-	for _, impl := range impls {
-		fmt.Fprintf(out, " %10s", impl)
+	type row struct {
+		base  benchFuture
+		locks []benchFuture
+		opt   benchFuture
 	}
-	fmt.Fprintf(out, " %10s\n", "optimized")
-	for _, name := range names {
+	rows := make([]row, len(names))
+	for ni, name := range names {
 		spec := oversub.FindBenchmark(name)
-		base := oversub.RunBenchmark(spec, oversub.BenchConfig{
-			Threads: 8, Cores: 8, Seed: o.seed, WorkScale: scale,
-		})
-		fmt.Fprintf(out, "%-14s", name)
-		for _, impl := range impls {
-			r := oversub.RunBenchmark(spec, oversub.BenchConfig{
+		r := row{
+			base: e.bench(spec, oversub.BenchConfig{
+				Threads: 8, Cores: 8, Seed: o.seed, WorkScale: scale,
+			}),
+			locks: make([]benchFuture, len(impls)),
+			opt: e.bench(spec, oversub.BenchConfig{
+				Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
+				Feat: oversub.Features{VB: true}, Detect: oversub.DetectBWD,
+			}),
+		}
+		for ii, impl := range impls {
+			r.locks[ii] = e.bench(spec, oversub.BenchConfig{
 				Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale, LockImpl: impl,
 			})
-			fmt.Fprintf(out, " %10.2f", float64(r.ExecTime)/float64(base.ExecTime))
 		}
-		opt := oversub.RunBenchmark(spec, oversub.BenchConfig{
-			Threads: 32, Cores: 8, Seed: o.seed, WorkScale: scale,
-			Feat: oversub.Features{VB: true}, Detect: oversub.DetectBWD,
-		})
-		fmt.Fprintf(out, " %10.2f\n", float64(opt.ExecTime)/float64(base.ExecTime))
+		rows[ni] = r
 	}
-	fmt.Fprintln(out, "\n(paper: spin-then-park algorithms still collapse under oversubscription;")
-	fmt.Fprintln(out, " VB+BWD are up to 5.4x more efficient and need no code changes)")
+	fmt.Fprintf(e.out, "%-14s", "benchmark")
+	for _, impl := range impls {
+		fmt.Fprintf(e.out, " %10s", impl)
+	}
+	fmt.Fprintf(e.out, " %10s\n", "optimized")
+	for ni, name := range names {
+		r := rows[ni]
+		base := r.base.wait()
+		fmt.Fprintf(e.out, "%-14s", name)
+		for ii := range impls {
+			lr := r.locks[ii].wait()
+			fmt.Fprintf(e.out, " %10.2f", float64(lr.ExecTime)/float64(base.ExecTime))
+		}
+		opt := r.opt.wait()
+		fmt.Fprintf(e.out, " %10.2f\n", float64(opt.ExecTime)/float64(base.ExecTime))
+	}
+	fmt.Fprintln(e.out, "\n(paper: spin-then-park algorithms still collapse under oversubscription;")
+	fmt.Fprintln(e.out, " VB+BWD are up to 5.4x more efficient and need no code changes)")
 }

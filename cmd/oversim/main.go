@@ -7,15 +7,19 @@
 //	oversim -bench streamcluster -threads 32 -cores 8 -vb -bwd
 //	oversim -bench lu -threads 32 -cores 8 -ple -vm
 //	oversim -bench memcached -threads 16 -cores 4 -vb
+//	oversim -bench streamcluster -threads 32 -reps 8
 //	oversim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"oversub"
+	"oversub/internal/runner"
+	"oversub/internal/stats"
 	"oversub/internal/sweep"
 )
 
@@ -37,6 +41,8 @@ func main() {
 		growTo  = flag.Int("grow", 0, "resize the cpuset to this many cores at t=2ms")
 		traceTo = flag.String("trace", "", "write the scheduling event trace to this file")
 		doSweep = flag.Bool("sweep", false, "sweep threads x cores x kernel variants and print a table")
+		reps    = flag.Int("reps", 1, "repetitions over seeds seed..seed+reps-1, with mean/stddev")
+		jobs    = flag.Int("jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -52,6 +58,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *reps < 1 {
+		fmt.Fprintln(os.Stderr, "-reps must be >= 1")
+		os.Exit(2)
+	}
+	if *reps > 1 && *traceTo != "" {
+		fmt.Fprintln(os.Stderr, "-trace records a single run; it cannot be combined with -reps > 1")
+		os.Exit(2)
+	}
+
+	pool := runner.New(*jobs)
+	defer pool.Close()
 
 	detect := oversub.DetectOff
 	if *bwd {
@@ -83,7 +100,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *doSweep {
-		g := sweep.Run(sweep.Config{
+		g := sweep.RunOn(pool, sweep.Config{
 			Spec:     spec,
 			Threads:  []int{8, 16, 32},
 			Cores:    []int{2, 4, 8, 16, 32},
@@ -112,6 +129,12 @@ func main() {
 	if *growTo > 0 {
 		cfg.Plan = []oversub.CPUChange{{At: 2 * oversub.Millisecond, Cores: *growTo}}
 	}
+
+	if *reps > 1 {
+		runReps(pool, spec, cfg, *reps)
+		return
+	}
+
 	r := oversub.RunBenchmark(spec, cfg)
 	if r.Err != nil {
 		fmt.Fprintf(os.Stderr, "run did not complete: %v\n", r.Err)
@@ -144,5 +167,50 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("  trace           %12d events -> %s\n", ring.Len(), *traceTo)
+	}
+}
+
+// runReps fans reps runs of the same configuration — seeds cfg.Seed through
+// cfg.Seed+reps-1 — across the pool and summarizes execution time and
+// utilization. Results print in seed order regardless of completion order.
+func runReps(pool *runner.Pool, spec *oversub.BenchSpec, cfg oversub.BenchConfig, reps int) {
+	jobs := make([]runner.Job, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)
+		jobs[i] = runner.Job{
+			Label: fmt.Sprintf("%s/seed=%d", spec.Name, c.Seed),
+			Fn: func(context.Context) (any, error) {
+				return oversub.RunBenchmark(spec, c), nil
+			},
+		}
+	}
+	var execMS, util stats.Series
+	fmt.Printf("%s: threads=%d cores=%d, %d repetitions\n", spec.Name, cfg.Threads, cfg.Cores, reps)
+	fmt.Printf("  %-12s %14s %10s\n", "seed", "exec time(ms)", "util(%)")
+	failed := 0
+	for _, res := range pool.Map(context.Background(), jobs) {
+		if res.Err != nil {
+			fmt.Printf("  %-12d %14s %10s  (%v)\n", cfg.Seed+uint64(res.Index), "failed", "-", res.Err)
+			failed++
+			continue
+		}
+		r := res.Value.(oversub.BenchResult)
+		if r.Err != nil {
+			fmt.Printf("  %-12d %14s %10s  (%v)\n", cfg.Seed+uint64(res.Index), "hang", "-", r.Err)
+			failed++
+			continue
+		}
+		execMS.Add(r.ExecTime.Millis())
+		util.Add(r.UtilPct)
+		fmt.Printf("  %-12d %14.2f %10.0f\n", cfg.Seed+uint64(res.Index), r.ExecTime.Millis(), r.UtilPct)
+	}
+	if execMS.Count() > 0 {
+		fmt.Printf("  %-12s %14.2f %10.0f\n", "mean", execMS.Mean(), util.Mean())
+		fmt.Printf("  %-12s %14.2f %10.1f\n", "stddev", execMS.Stddev(), util.Stddev())
+	}
+	if failed > 0 {
+		fmt.Printf("  %d of %d repetitions failed\n", failed, reps)
+		os.Exit(1)
 	}
 }

@@ -1,16 +1,22 @@
 package locks
 
 import (
+	"sync/atomic"
+
 	"oversub/internal/hw"
 	"oversub/internal/sched"
 )
 
-var sigCounter uint64
+// sigCounter is process-global (not per-run) so every lock's branch
+// address is distinct; it must be atomic because independent simulation
+// runs now construct locks concurrently (internal/runner). Results only
+// depend on address *distinctness* within a run, never on the absolute
+// value, so concurrent allocation order cannot perturb a run's outcome.
+var sigCounter atomic.Uint64
 
 // newSig allocates a distinct spin-loop signature (branch address pair).
 func newSig(iterNS float64, pause bool) hw.SpinSig {
-	sigCounter++
-	return hw.NewSpinSig(0x400000+sigCounter*0x200, iterNS, pause)
+	return hw.NewSpinSig(0x400000+sigCounter.Add(1)*0x200, iterNS, pause)
 }
 
 // TTAS is the test-and-test-and-set lock: spin reading until free, then CAS.

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// Cache is a content-addressed, on-disk memo of run results. Keys are
+// fingerprints of everything that determines a run's outcome (workload
+// spec, machine config, kernel features, seed, scale — see Key); values
+// are JSON. Entries live one-per-file under dir, sharded by key prefix,
+// and are written atomically (temp file + rename) so concurrent writers
+// of the same key are safe.
+//
+// A nil *Cache is valid and caches nothing, which is how callers
+// implement a -nocache flag.
+type Cache struct {
+	dir          string
+	hits, misses atomic.Int64
+}
+
+// OpenCache creates dir if needed and returns a cache rooted there.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runner: open cache %s: %w", dir, err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string {
+	if c == nil {
+		return ""
+	}
+	return c.dir
+}
+
+// Key fingerprints the given parts into a hex content address. Parts are
+// JSON-encoded in order, so any change to any field of any part — a
+// different seed, scale, feature flag, cost table, or workload parameter
+// — produces a different key and thus a cache miss.
+func Key(parts ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for _, p := range parts {
+		if err := enc.Encode(p); err != nil {
+			// Unencodable parts (channels, funcs) still perturb the key
+			// by type so two different configs cannot silently collide.
+			fmt.Fprintf(h, "!unencodable:%T\n", p)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// path shards entries by the first key byte to keep directories small.
+func (c *Cache) path(key string) string {
+	if len(key) < 3 {
+		return filepath.Join(c.dir, key+".json")
+	}
+	return filepath.Join(c.dir, key[:2], key[2:]+".json")
+}
+
+// Lookup loads the entry for key into out, reporting whether it was
+// present and well-formed. Corrupt entries count as misses.
+func (c *Cache) Lookup(key string, out any) bool {
+	if c == nil {
+		return false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		c.misses.Add(1)
+		return false
+	}
+	c.hits.Add(1)
+	return true
+}
+
+// Store persists v as the entry for key.
+func (c *Cache) Store(key string, v any) error {
+	if c == nil {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("runner: encode cache entry: %w", err)
+	}
+	p := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("runner: store cache entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".entry-*")
+	if err != nil {
+		return fmt.Errorf("runner: store cache entry: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: store cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: store cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("runner: store cache entry: %w", err)
+	}
+	return nil
+}
+
+// Counts returns how many lookups hit and missed so far.
+func (c *Cache) Counts() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Memo returns the cached value for key, computing and storing it on a
+// miss. With a nil cache it always computes.
+func Memo[T any](c *Cache, key string, compute func() T) T {
+	var v T
+	if c.Lookup(key, &v) {
+		return v
+	}
+	v = compute()
+	c.Store(key, v)
+	return v
+}

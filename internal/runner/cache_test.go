@@ -1,0 +1,144 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runCfg stands in for a real run configuration in key tests.
+type runCfg struct {
+	Bench   string
+	Threads int
+	Cores   int
+	VB      bool
+	Seed    uint64
+	Scale   float64
+}
+
+type runVal struct {
+	ExecNS int64
+	Note   string
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key(runCfg{Bench: "lu", Threads: 32, Cores: 8, Seed: 1, Scale: 1})
+	var got runVal
+	if c.Lookup(key, &got) {
+		t.Fatal("lookup hit on an empty cache")
+	}
+	want := runVal{ExecNS: 123456, Note: "first"}
+	if err := c.Store(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Lookup(key, &got) || got != want {
+		t.Fatalf("lookup after store = %+v, hit=%v", got, got == want)
+	}
+	if h, m := c.Counts(); h != 1 || m != 1 {
+		t.Fatalf("counts = %d hits, %d misses; want 1, 1", h, m)
+	}
+}
+
+func TestCacheKeyInvalidatesOnAnyConfigChange(t *testing.T) {
+	base := runCfg{Bench: "lu", Threads: 32, Cores: 8, Seed: 1, Scale: 1}
+	if Key(base) != Key(base) {
+		t.Fatal("identical configs produced different keys")
+	}
+	variants := []runCfg{
+		{Bench: "cg", Threads: 32, Cores: 8, Seed: 1, Scale: 1},
+		{Bench: "lu", Threads: 16, Cores: 8, Seed: 1, Scale: 1},
+		{Bench: "lu", Threads: 32, Cores: 4, Seed: 1, Scale: 1},
+		{Bench: "lu", Threads: 32, Cores: 8, VB: true, Seed: 1, Scale: 1},
+		{Bench: "lu", Threads: 32, Cores: 8, Seed: 2, Scale: 1},
+		{Bench: "lu", Threads: 32, Cores: 8, Seed: 1, Scale: 0.3},
+	}
+	seen := map[string]bool{Key(base): true}
+	for _, v := range variants {
+		k := Key(v)
+		if seen[k] {
+			t.Fatalf("config %+v collided with an earlier key", v)
+		}
+		seen[k] = true
+	}
+	// The schema salt must invalidate too.
+	if Key("v1", base) == Key("v2", base) {
+		t.Fatal("schema salt does not change the key")
+	}
+}
+
+func TestCacheCorruptEntryIsAMiss(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("corrupt")
+	if err := c.Store(key, runVal{ExecNS: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(key), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got runVal
+	if c.Lookup(key, &got) {
+		t.Fatal("corrupt entry reported as a hit")
+	}
+}
+
+func TestCacheNilIsSafeAndDisabled(t *testing.T) {
+	var c *Cache
+	if c.Lookup(Key("x"), new(runVal)) {
+		t.Fatal("nil cache hit")
+	}
+	if err := c.Store(Key("x"), runVal{}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := c.Counts(); h != 0 || m != 0 {
+		t.Fatal("nil cache counted")
+	}
+	calls := 0
+	v := Memo(c, Key("x"), func() runVal { calls++; return runVal{ExecNS: 9} })
+	if v.ExecNS != 9 || calls != 1 {
+		t.Fatalf("nil-cache Memo: %+v, %d calls", v, calls)
+	}
+}
+
+func TestMemoComputesOncePerKey(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	compute := func() runVal { calls++; return runVal{ExecNS: 77} }
+	key := Key(runCfg{Bench: "is"})
+	a := Memo(c, key, compute)
+	b := Memo(c, key, compute)
+	if a != b || calls != 1 {
+		t.Fatalf("memo recomputed: %+v vs %+v after %d calls", a, b, calls)
+	}
+	// A different key recomputes (cache invalidation on config change).
+	_ = Memo(c, Key(runCfg{Bench: "is", Seed: 5}), compute)
+	if calls != 2 {
+		t.Fatalf("changed config did not recompute (%d calls)", calls)
+	}
+}
+
+func TestCacheEntriesShardedOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("shard-me")
+	if err := c.Store(key, runVal{}); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(dir, key[:2], key[2:]+".json")
+	if _, err := os.Stat(want); err != nil {
+		t.Fatalf("entry not at sharded path %s: %v", want, err)
+	}
+}

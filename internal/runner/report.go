@@ -1,0 +1,77 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Reporter periodically prints a pool's fleet progress (done / running /
+// queued, plus a slowest-run watchdog) to a writer — stderr in the CLIs —
+// so long experiment fleets stay observable without polluting stdout.
+type Reporter struct {
+	p         *Pool
+	w         io.Writer
+	every     time.Duration
+	warnAfter time.Duration
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// StartReporter begins heartbeating pool progress to w every interval
+// (<= 0 means 2s). A run in flight for longer than ten intervals is
+// flagged by the watchdog. Call Stop to end the heartbeat.
+func StartReporter(p *Pool, w io.Writer, every time.Duration) *Reporter {
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	r := &Reporter{
+		p:         p,
+		w:         w,
+		every:     every,
+		warnAfter: 10 * every,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+func (r *Reporter) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			if s := r.p.Stats(); s.Running > 0 || s.Queued > 0 {
+				fmt.Fprintln(r.w, heartbeat(s, r.warnAfter))
+			}
+		}
+	}
+}
+
+// heartbeat formats one progress line from a stats snapshot.
+func heartbeat(s Stats, warnAfter time.Duration) string {
+	line := fmt.Sprintf("runner: %d done, %d running, %d queued",
+		s.Done, s.Running, s.Queued)
+	if s.Slowest != "" {
+		line += fmt.Sprintf("; slowest %s %.1fs", s.Slowest, s.SlowestFor.Seconds())
+		if s.SlowestFor >= warnAfter {
+			line += " [watchdog: possible hang]"
+		}
+	}
+	return line
+}
+
+// Stop halts the heartbeat and waits for the loop to exit. Safe to call
+// on a nil Reporter.
+func (r *Reporter) Stop() {
+	if r == nil {
+		return
+	}
+	close(r.stop)
+	<-r.done
+}

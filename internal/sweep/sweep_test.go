@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"oversub/internal/runner"
 	"oversub/internal/workload"
 )
 
@@ -56,6 +57,38 @@ func TestSweepBest(t *testing.T) {
 	}
 	if best.Variant == "vanilla" {
 		t.Errorf("best at 32T/8c is vanilla; expected an optimized variant (got %s)", best.Variant)
+	}
+}
+
+// TestSweepParallelIsByteIdenticalToSerial is the determinism contract of
+// the runner's merge step: a representative sweep rendered after -jobs 1
+// and -jobs 8 style execution must produce byte-identical tables, and both
+// must match the plain serial path.
+func TestSweepParallelIsByteIdenticalToSerial(t *testing.T) {
+	cfg := Config{
+		Spec:     workload.Find("streamcluster"),
+		Threads:  []int{8, 32},
+		Cores:    []int{4, 8},
+		Variants: StandardVariants(),
+		Seed:     7,
+		Scale:    0.15,
+	}
+	render := func(g *Grid) string {
+		var sb strings.Builder
+		if err := g.WriteTable(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	serial := render(Run(cfg))
+	for _, jobs := range []int{1, 8} {
+		p := runner.New(jobs)
+		got := render(RunOn(p, cfg))
+		p.Close()
+		if got != serial {
+			t.Fatalf("-jobs %d table differs from serial:\n--- serial ---\n%s--- jobs=%d ---\n%s",
+				jobs, serial, jobs, got)
+		}
 	}
 }
 
