@@ -1,7 +1,8 @@
 #!/bin/sh
-# ci.sh — the repo's gate: formatting, vet, build, tests, and the race
+# ci.sh — the repo's gate: formatting, vet, simlint, build, tests, the race
 # detector (the runner fans simulation runs across OS threads, so every
-# test also runs under -race).
+# test also runs under -race), and a determinism smoke test proving that a
+# parallel experiment fleet is byte-identical to a serial one.
 set -eu
 
 cd "$(dirname "$0")"
@@ -17,6 +18,13 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== simlint =="
+# The determinism contract, machine-checked: no wall-clock reads, global
+# math/rand, map iteration, multi-case selects, or goroutines in the
+# simulated kernel; no time-domain mixing, mixed atomics, or unthreaded
+# engine seeds. See DESIGN.md "Determinism rules".
+go run ./cmd/simlint ./...
+
 echo "== go build =="
 go build ./...
 
@@ -25,5 +33,20 @@ go test ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== determinism smoke: parallel == serial =="
+# The same quick experiments, serial (-jobs 1) and parallel (-jobs 8),
+# bypassing the cache; the rendered outputs must be byte-identical.
+detdir=$(mktemp -d)
+trap 'rm -rf "$detdir"' EXIT
+go build -o "$detdir/hpdc21" ./cmd/hpdc21
+"$detdir/hpdc21" -quick -nocache -jobs 1 fig2 fig9 tab2 >"$detdir/serial.txt" 2>/dev/null
+"$detdir/hpdc21" -quick -nocache -jobs 8 fig2 fig9 tab2 >"$detdir/parallel.txt" 2>/dev/null
+if ! cmp -s "$detdir/serial.txt" "$detdir/parallel.txt"; then
+    echo "determinism smoke FAILED: parallel output differs from serial" >&2
+    diff "$detdir/serial.txt" "$detdir/parallel.txt" >&2 || true
+    exit 1
+fi
+echo "parallel output byte-identical to serial."
 
 echo "CI passed."

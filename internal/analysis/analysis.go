@@ -1,0 +1,278 @@
+// Package analysis implements simlint, the repository's determinism and
+// simulated-kernel invariant checker.
+//
+// The repo's core guarantee — a simulation run is a pure function of its
+// seed, and parallel experiment fleets are byte-identical to serial ones —
+// is easy to break with one stray wall-clock read, map iteration, or
+// unsanctioned goroutine. The analyzers here turn that convention into a
+// machine-checked contract: cmd/simlint loads the whole module with
+// go/parser + go/types (stdlib only) and reports every construct that can
+// leak host nondeterminism into simulation results.
+//
+// Audited exceptions are annotated in the source:
+//
+//	//simlint:allow <rule>[,<rule>...] [-- <reason>]
+//
+// placed on the offending line or the line directly above it. DESIGN.md
+// ("Determinism rules") documents every rule and the reasoning behind it.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is one rule violation.
+type Diagnostic struct {
+	// Pos locates the violation.
+	Pos token.Position
+	// Rule names the analyzer that produced the diagnostic.
+	Rule string
+	// Message explains the violation.
+	Message string
+}
+
+// String formats the diagnostic as "file:line:col: [rule] message".
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// An Analyzer is one simlint rule.
+type Analyzer struct {
+	// Name is the rule name used in diagnostics and allow directives.
+	Name string
+	// Doc is a one-line description of what the rule enforces.
+	Doc string
+	// SimScope restricts the rule to simulation-result-producing packages
+	// (see DefaultSimScope). Module-wide rules leave it false.
+	SimScope bool
+	// Run inspects one package and reports violations through the pass.
+	Run func(*Pass)
+	// Finish, if non-nil, runs once after every package has been visited.
+	// Rules that need whole-module state (atomics) report from here; the
+	// pass it receives has no Pkg.
+	Finish func(*Pass)
+}
+
+// Analyzers returns the full simlint rule suite.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		Walltime,
+		GlobalRand,
+		MapRange,
+		SelectStmt,
+		GoStmt,
+		SimTime,
+		Atomics,
+		SeedFlow,
+	}
+}
+
+// simScopeDirs are the internal/<dir> subtrees whose packages produce (or
+// directly feed) simulation results, per ISSUE 2: everything here must be
+// a deterministic function of the seed.
+var simScopeDirs = []string{
+	"sim", "sched", "futex", "epoll", "bwd", "locks",
+	"hw", "mem", "omp", "workload", "sweep", "stats",
+}
+
+// DefaultSimScope returns the predicate marking which import paths of the
+// module are simulation scope: the internal simulation packages plus every
+// command (cmd/... renders experiment output, so nondeterminism there
+// corrupts results just as surely).
+func DefaultSimScope(modulePath string) func(string) bool {
+	return func(path string) bool {
+		if strings.HasPrefix(path, modulePath+"/cmd/") {
+			return true
+		}
+		for _, d := range simScopeDirs {
+			base := modulePath + "/internal/" + d
+			if path == base || strings.HasPrefix(path, base+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// A Pass carries one analyzer's view of one package.
+type Pass struct {
+	// Fset maps positions for every loaded file.
+	Fset *token.FileSet
+	// Pkg is the package under analysis (nil during Finish).
+	Pkg *Package
+	// SimScope reports whether Pkg is in the simulation scope.
+	SimScope bool
+
+	rule  *Analyzer
+	suite *Suite
+}
+
+// Reportf records a diagnostic for the pass's rule at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.suite.diags = append(p.suite.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.rule.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// State returns the suite-wide state for key, creating it with mk on first
+// use. Cross-package rules accumulate into it from Run and report from
+// Finish.
+func (p *Pass) State(key string, mk func() any) any {
+	st, ok := p.suite.state[key]
+	if !ok {
+		st = mk()
+		p.suite.state[key] = st
+	}
+	return st
+}
+
+// A Suite runs a set of analyzers over loaded packages and filters the
+// results through the source tree's allow directives.
+type Suite struct {
+	fset      *token.FileSet
+	analyzers []*Analyzer
+	simScope  func(string) bool
+	state     map[string]any
+	allow     map[allowKey]bool
+	diags     []Diagnostic
+}
+
+// allowKey identifies one allow directive's reach: a rule allowed on one
+// line of one file.
+type allowKey struct {
+	file string
+	line int
+	rule string
+}
+
+// NewSuite builds a suite. simScope decides which package paths the
+// SimScope-restricted analyzers visit.
+func NewSuite(fset *token.FileSet, analyzers []*Analyzer, simScope func(string) bool) *Suite {
+	return &Suite{
+		fset:      fset,
+		analyzers: analyzers,
+		simScope:  simScope,
+		state:     map[string]any{},
+		allow:     map[allowKey]bool{},
+	}
+}
+
+// Run analyzes the packages in order and returns the surviving
+// diagnostics sorted by position then rule — deterministic output being
+// rather the point of this tool.
+func (s *Suite) Run(pkgs []*Package) []Diagnostic {
+	for _, pkg := range pkgs {
+		s.collectAllows(pkg)
+		inScope := s.simScope(pkg.Path)
+		for _, a := range s.analyzers {
+			if a.SimScope && !inScope {
+				continue
+			}
+			a.Run(&Pass{Fset: s.fset, Pkg: pkg, SimScope: inScope, rule: a, suite: s})
+		}
+	}
+	for _, a := range s.analyzers {
+		if a.Finish != nil {
+			a.Finish(&Pass{Fset: s.fset, rule: a, suite: s})
+		}
+	}
+	kept := s.diags[:0]
+	for _, d := range s.diags {
+		if !s.allowed(d) {
+			kept = append(kept, d)
+		}
+	}
+	s.diags = kept
+	sort.Slice(s.diags, func(i, j int) bool {
+		a, b := s.diags[i], s.diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return s.diags
+}
+
+// collectAllows indexes every //simlint:allow directive in pkg. A
+// directive covers its own line and the line directly below it, so both
+// trailing and standalone-comment placement work:
+//
+//	t0 := time.Now() //simlint:allow walltime -- host elapsed metric
+//
+//	//simlint:allow walltime -- host elapsed metric
+//	t0 := time.Now()
+func (s *Suite) collectAllows(pkg *Package) {
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rules, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := s.fset.Position(c.Pos())
+				for _, r := range rules {
+					s.allow[allowKey{pos.Filename, pos.Line, r}] = true
+					s.allow[allowKey{pos.Filename, pos.Line + 1, r}] = true
+				}
+			}
+		}
+	}
+}
+
+// parseAllow extracts the rule list from one "//simlint:allow ..."
+// comment, reporting whether the comment is a directive at all.
+func parseAllow(text string) ([]string, bool) {
+	rest, ok := strings.CutPrefix(text, "//simlint:allow")
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	if reason := strings.Index(rest, "--"); reason >= 0 {
+		rest = rest[:reason]
+	}
+	var rules []string
+	for _, r := range strings.Split(rest, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			rules = append(rules, r)
+		}
+	}
+	return rules, len(rules) > 0
+}
+
+func (s *Suite) allowed(d Diagnostic) bool {
+	return s.allow[allowKey{d.Pos.Filename, d.Pos.Line, d.Rule}]
+}
+
+// LintModule loads the module rooted at root and runs the full analyzer
+// suite with the default scope. It returns the diagnostics (file names
+// relative to root) and any load error.
+func LintModule(root string) ([]Diagnostic, error) {
+	modPath, err := ModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	l := NewLoader(root, modPath)
+	pkgs, err := l.LoadTree()
+	if err != nil {
+		return nil, err
+	}
+	s := NewSuite(l.Fset(), Analyzers(), DefaultSimScope(modPath))
+	diags := s.Run(pkgs)
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
+		}
+	}
+	return diags, nil
+}

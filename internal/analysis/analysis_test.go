@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// The analyzer tests run the suite over fixture packages under
+// testdata/src (a GOPATH-style layout, so fixtures can import a stub
+// "sim" package) and compare the diagnostics against `// want "regex"`
+// comments, analysistest-style: every diagnostic must be matched by a
+// want on its line, and every want must match exactly one diagnostic.
+// Regexes match against the "[rule] message" rendering, so fixtures pin
+// the rule as well as the text.
+
+// testdataLoader loads one fixture package with every analyzer in scope.
+func testdataLoader(t *testing.T) *Loader {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLoader(root, "")
+}
+
+func runOn(t *testing.T, l *Loader, pkgPath string, simScope bool) (*Package, []Diagnostic) {
+	t.Helper()
+	pkg, err := l.Load(pkgPath)
+	if err != nil {
+		t.Fatalf("load %s: %v", pkgPath, err)
+	}
+	s := NewSuite(l.Fset(), Analyzers(), func(string) bool { return simScope })
+	return pkg, s.Run([]*Package{pkg})
+}
+
+func TestRules(t *testing.T) {
+	// One fixture package per rule, each with at least two positive cases
+	// and a negative, plus the allow-directive fixture that must be clean.
+	for _, pkgPath := range []string{
+		"walltime",
+		"globalrand",
+		"maprange",
+		"selectstmt",
+		"gostmt",
+		"simtime",
+		"atomics",
+		"seedflow",
+		"allowed",
+	} {
+		t.Run(pkgPath, func(t *testing.T) {
+			l := testdataLoader(t)
+			pkg, diags := runOn(t, l, pkgPath, true)
+			checkWants(t, l.Fset(), pkg, diags)
+		})
+	}
+}
+
+// want pairs one expectation regex with its source line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("(`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")")
+
+// collectWants parses the `// want ...` comments of a fixture package.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						if pat, err = strconv.Unquote(q); err != nil {
+							t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func cutWant(comment string) (string, bool) {
+	const marker = "// want "
+	for i := 0; i+len(marker) <= len(comment); i++ {
+		if comment[i:i+len(marker)] == marker {
+			return comment[i+len(marker):], true
+		}
+	}
+	return "", false
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, pkg)
+	for _, d := range diags {
+		text := fmt.Sprintf("[%s] %s", d.Rule, d.Message)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: want %q matched no diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestScopeGating(t *testing.T) {
+	l := testdataLoader(t)
+	_, diags := runOn(t, l, "scoped", false)
+	var rules []string
+	for _, d := range diags {
+		rules = append(rules, d.Rule)
+	}
+	if len(diags) != 1 || diags[0].Rule != "walltime" {
+		t.Fatalf("out-of-scope package: got rules %v, want exactly [walltime] (sim-scope rules must not fire)", rules)
+	}
+
+	l2 := testdataLoader(t)
+	_, diags = runOn(t, l2, "scoped", true)
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+	}
+	if byRule["gostmt"] != 1 || byRule["walltime"] != 1 {
+		t.Fatalf("in-scope package: got %v, want one gostmt and one walltime", byRule)
+	}
+}
+
+func TestDefaultSimScope(t *testing.T) {
+	in := DefaultSimScope("oversub")
+	for _, path := range []string{
+		"oversub/internal/sim",
+		"oversub/internal/sched",
+		"oversub/internal/workload",
+		"oversub/cmd/hpdc21",
+		"oversub/cmd/simlint",
+	} {
+		if !in(path) {
+			t.Errorf("%s should be in simulation scope", path)
+		}
+	}
+	for _, path := range []string{
+		"oversub",
+		"oversub/internal/runner",
+		"oversub/internal/analysis",
+		"oversub/internal/rbtree",
+		"oversub/internal/trace",
+	} {
+		if in(path) {
+			t.Errorf("%s should not be in simulation scope", path)
+		}
+	}
+}
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//simlint:allow walltime", []string{"walltime"}},
+		{"//simlint:allow walltime -- reason text", []string{"walltime"}},
+		{"//simlint:allow gostmt,maprange -- multi", []string{"gostmt", "maprange"}},
+		{"//simlint:allow  spaced , rules ", []string{"spaced", "rules"}},
+		{"//simlint:allowance is not a directive", nil},
+		{"// simlint:allow not recognized with a space", nil},
+		{"//simlint:allow", nil},
+		{"// ordinary comment", nil},
+	}
+	for _, c := range cases {
+		got, ok := parseAllow(c.text)
+		if (c.want == nil) == ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", c.text, ok, c.want != nil)
+			continue
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("parseAllow(%q) = %v, want %v", c.text, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// TestDiagnosticsSorted pins the deterministic output contract of the
+// suite itself: diagnostics come back ordered by file, line, column, rule.
+func TestDiagnosticsSorted(t *testing.T) {
+	l := testdataLoader(t)
+	_, diags := runOn(t, l, "walltime", true)
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Pos.Filename > b.Pos.Filename ||
+			(a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line) {
+			t.Fatalf("diagnostics out of order: %s before %s", a, b)
+		}
+	}
+}

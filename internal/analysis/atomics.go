@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomics flags variables — struct fields and package-level vars — that
+// are accessed both through sync/atomic function calls and by plain
+// reads/writes anywhere in the module. Mixing the two is exactly the
+// sigCounter bug PR 1 had to hot-fix in internal/locks: the plain access
+// races with the atomic one, and under concurrent experiment fleets the
+// torn value perturbs results. A variable is either always atomic or
+// never; fields of type atomic.Uint64 & friends are safe by construction
+// and never flagged.
+//
+// Composite-literal initialization does not count as a plain access:
+// constructing a value before publication is the idiomatic way to seed an
+// atomically accessed field.
+var Atomics = &Analyzer{
+	Name:   "atomics",
+	Doc:    "forbid mixing sync/atomic access with plain reads/writes of the same variable",
+	Run:    runAtomics,
+	Finish: finishAtomics,
+}
+
+const atomicsStateKey = "atomics"
+
+type atomicsState struct {
+	recs map[types.Object]*atomicRec
+	objs []types.Object // first-seen order, for deterministic reporting
+}
+
+type atomicRec struct {
+	atomicPos []token.Pos
+	plainPos  []token.Pos
+}
+
+func (st *atomicsState) rec(obj types.Object) *atomicRec {
+	r, ok := st.recs[obj]
+	if !ok {
+		r = &atomicRec{}
+		st.recs[obj] = r
+		st.objs = append(st.objs, obj)
+	}
+	return r
+}
+
+func runAtomics(pass *Pass) {
+	st := pass.State(atomicsStateKey, func() any {
+		return &atomicsState{recs: map[types.Object]*atomicRec{}}
+	}).(*atomicsState)
+	info := pass.Pkg.Info
+
+	for _, f := range pass.Pkg.Files {
+		// First pass: arguments of sync/atomic calls, and composite-literal
+		// keys. Every &x passed to a package-level atomic function is an
+		// atomic access of x; both kinds of ident are excluded from the
+		// plain-access pass below (literal keys are initialization, not
+		// access).
+		excluded := map[*ast.Ident]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				for _, elt := range lit.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						if key, ok := kv.Key.(*ast.Ident); ok {
+							excluded[key] = true
+						}
+					}
+				}
+				return true
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				switch x := ast.Unparen(u.X).(type) {
+				case *ast.SelectorExpr:
+					if obj := trackedVar(info, x.Sel); obj != nil {
+						st.rec(obj).atomicPos = append(st.rec(obj).atomicPos, x.Pos())
+						excluded[x.Sel] = true
+					}
+				case *ast.Ident:
+					if obj := trackedVar(info, x); obj != nil {
+						st.rec(obj).atomicPos = append(st.rec(obj).atomicPos, x.Pos())
+						excluded[x] = true
+					}
+				}
+			}
+			return true
+		})
+
+		// Second pass: every other mention of a tracked variable is a
+		// plain access.
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || excluded[id] {
+				return true
+			}
+			if obj := trackedVar(info, id); obj != nil {
+				st.rec(obj).plainPos = append(st.rec(obj).plainPos, id.Pos())
+			}
+			return true
+		})
+	}
+}
+
+func finishAtomics(pass *Pass) {
+	st, ok := pass.suite.state[atomicsStateKey].(*atomicsState)
+	if !ok {
+		return
+	}
+	for _, obj := range st.objs {
+		r := st.recs[obj]
+		if len(r.atomicPos) == 0 || len(r.plainPos) == 0 {
+			continue
+		}
+		kind := "package-level var"
+		if obj.(*types.Var).IsField() {
+			kind = "field"
+		}
+		pass.Reportf(r.plainPos[0],
+			"%s %s is accessed both via sync/atomic (e.g. %s) and with a plain read/write; every access must be atomic, or the variable should use an atomic.* type",
+			kind, obj.Name(), pass.Fset.Position(r.atomicPos[0]))
+	}
+}
+
+// isAtomicFuncCall reports whether call invokes a package-level
+// sync/atomic function (atomic.AddUint64, atomic.LoadInt32, ...). Methods
+// on the atomic.* wrapper types are not included: those types make mixed
+// access impossible.
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// trackedVar resolves id to a variable the analyzer cares about: a struct
+// field or a package-level var of basic integer type (the shapes
+// addressable by the sync/atomic functions). Declaration sites are not
+// uses and return nil.
+func trackedVar(info *types.Info, id *ast.Ident) types.Object {
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	if v.IsField() {
+		return v
+	}
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v
+	}
+	return nil
+}

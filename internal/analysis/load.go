@@ -1,0 +1,285 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package of the tree under
+// analysis. Test files (_test.go) are excluded: the determinism contract
+// covers simulation code, while tests legitimately exercise the host
+// runtime (wall-clock timeouts, racing goroutines, ...).
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test source files, in file-name order.
+	Files []*ast.File
+	// Types and Info carry the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks a tree of Go packages using only the
+// standard library (go/parser + go/types; the x/tools loaders are
+// deliberately not dependencies). Imports that resolve inside the tree are
+// type-checked from source through the loader itself; every other import
+// falls back to a source-based importer rooted at GOROOT.
+//
+// Two layouts are supported:
+//
+//   - module mode (modulePath != ""): root holds a go.mod, and import path
+//     modulePath+"/x/y" maps to root/x/y;
+//   - plain mode (modulePath == ""): GOPATH-style, import path "x/y" maps
+//     to root/x/y. The analyzer tests use this for their testdata corpus.
+type Loader struct {
+	fset       *token.FileSet
+	root       string
+	modulePath string
+	std        types.Importer
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader returns a loader for the tree rooted at root. modulePath is
+// the tree's module path ("" for a GOPATH-style layout).
+func NewLoader(root, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:       fset,
+		root:       root,
+		modulePath: modulePath,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+}
+
+// Fset returns the file set all packages were parsed into.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// LoadTree loads every package under the loader's root, in lexical
+// directory order, and returns them in that order. Directories named
+// testdata or vendor, and hidden or underscore-prefixed directories, are
+// skipped, matching the go tool's convention.
+func (l *Loader) LoadTree() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); p != l.root &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		if ok, err := hasGoFiles(p); err != nil {
+			return err
+		} else if ok {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		path, ok := l.pathFor(dir)
+		if !ok {
+			continue
+		}
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// Load parses and type-checks the package with the given import path,
+// loading its in-tree dependencies recursively. Results are cached, so a
+// package is only ever checked once per loader.
+func (l *Loader) Load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("analysis: package %s not found under %s", path, l.root)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go source files in %s", dir)
+	}
+
+	var checkErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importDep),
+		Error:    func(err error) { checkErrs = append(checkErrs, err) },
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	tpkg, _ := conf.Check(path, l.fset, files, info)
+	if len(checkErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, checkErrs[0])
+	}
+	p := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// importDep resolves one import during type checking: in-tree packages go
+// through Load, everything else through the GOROOT source importer.
+func (l *Loader) importDep(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirFor maps an import path to a directory under root, reporting whether
+// the path belongs to this tree.
+func (l *Loader) dirFor(path string) (string, bool) {
+	var dir string
+	switch {
+	case l.modulePath == "":
+		dir = filepath.Join(l.root, filepath.FromSlash(path))
+	case path == l.modulePath:
+		dir = l.root
+	case strings.HasPrefix(path, l.modulePath+"/"):
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.modulePath+"/")))
+	default:
+		return "", false
+	}
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return "", false
+	}
+	return dir, true
+}
+
+// pathFor is dirFor's inverse: the import path for a directory under root.
+func (l *Loader) pathFor(dir string) (string, bool) {
+	rel, err := filepath.Rel(l.root, dir)
+	if err != nil {
+		return "", false
+	}
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		if l.modulePath == "" {
+			return "", false // plain mode: the root itself is not a package
+		}
+		return l.modulePath, true
+	}
+	if l.modulePath == "" {
+		return rel, true
+	}
+	return l.modulePath + "/" + rel, true
+}
+
+// parseDir parses every non-test .go file in dir, in name order, keeping
+// comments (the allow directives live there).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if name := e.Name(); !e.IsDir() && isSourceFile(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkgName := ""
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		} else if f.Name.Name != pkgName {
+			return nil, fmt.Errorf("analysis: %s: mixed packages %s and %s", dir, pkgName, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// ModulePath extracts the module path from the go.mod file at gomod.
+func ModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if p := strings.TrimSpace(rest); p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", gomod)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedFlow audits how engine RNGs are constructed. Every sim.NewEngine /
+// sim.NewRand seed must be threaded explicitly from configuration —
+// literals, config fields, parameters, arithmetic over those, or values
+// derived inside the sim package itself (Rand.Split, Rand.Uint64). A seed
+// manufactured from anything else — time.Now().UnixNano(), os.Getpid(),
+// math/rand, a hash call — silently severs the run from its seed and
+// makes the result irreproducible even when every other rule passes.
+var SeedFlow = &Analyzer{
+	Name: "seedflow",
+	Doc:  "engine RNG seeds must be explicitly threaded from configuration",
+	Run:  runSeedFlow,
+}
+
+// seedCtors are the sim-package constructors whose first argument is a
+// seed.
+var seedCtors = map[string]bool{
+	"NewRand":   true,
+	"NewEngine": true,
+}
+
+func runSeedFlow(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Name() != "sim" || !seedCtors[fn.Name()] {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			if bad := badSeedSource(info, call.Args[0]); bad != nil {
+				pass.Reportf(call.Pos(),
+					"sim.%s seeded from %s: engine seeds must be threaded explicitly from the run configuration",
+					fn.Name(), types.ExprString(bad))
+			}
+			return true
+		})
+	}
+}
+
+// badSeedSource walks a seed expression and returns the first
+// sub-expression that is not an explicitly threaded value, or nil if the
+// whole expression is acceptable. Acceptable shapes: literals, constants,
+// variables, fields, arithmetic and conversions over those, and calls
+// into the sim package itself (whose derivations are deterministic by
+// construction). Any other function call is an unaudited seed source.
+func badSeedSource(info *types.Info, e ast.Expr) ast.Expr {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return nil
+	case *ast.Ident:
+		if _, isFunc := info.Uses[e].(*types.Func); isFunc {
+			return e
+		}
+		return nil
+	case *ast.SelectorExpr:
+		if _, isFunc := info.Uses[e.Sel].(*types.Func); isFunc {
+			return e
+		}
+		return nil
+	case *ast.ParenExpr:
+		return badSeedSource(info, e.X)
+	case *ast.UnaryExpr:
+		return badSeedSource(info, e.X)
+	case *ast.BinaryExpr:
+		if bad := badSeedSource(info, e.X); bad != nil {
+			return bad
+		}
+		return badSeedSource(info, e.Y)
+	case *ast.IndexExpr:
+		if bad := badSeedSource(info, e.X); bad != nil {
+			return bad
+		}
+		return badSeedSource(info, e.Index)
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			if len(e.Args) == 1 {
+				return badSeedSource(info, e.Args[0]) // conversion: judge the operand
+			}
+			return e
+		}
+		fn := calleeFunc(info, e)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Name() == "sim" {
+			for _, a := range e.Args {
+				if bad := badSeedSource(info, a); bad != nil {
+					return bad
+				}
+			}
+			return nil
+		}
+		return e
+	default:
+		return e
+	}
+}
+
+// calleeFunc resolves the function a call invokes, through parentheses
+// and both plain and selector call forms. It returns nil for conversions,
+// builtins, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// moduleRootForTest is the repository root, two levels above this package.
+func moduleRootForTest(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestRealTreeIsLintClean runs the analyzer suite over this repository
+// itself via the public API: the tree must carry zero diagnostics, with
+// every legitimate exception (the runner's wall-clock heartbeat, the
+// sim.Proc coroutine handshake) annotated in the source.
+func TestRealTreeIsLintClean(t *testing.T) {
+	diags, err := LintModule(moduleRootForTest(t))
+	if err != nil {
+		t.Fatalf("LintModule: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if t.Failed() {
+		t.Log("fix the violation or add an audited //simlint:allow annotation (see DESIGN.md, Determinism rules)")
+	}
+}
+
+// TestSimlintCommand is the end-to-end meta-test from ISSUE 2: the
+// shipped command, invoked the way ci.sh invokes it, must exit 0 on the
+// real tree.
+func TestSimlintCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go-run meta-test in -short mode")
+	}
+	cmd := exec.Command("go", "run", "./cmd/simlint", "./...")
+	cmd.Dir = moduleRootForTest(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run ./cmd/simlint ./... failed: %v\noutput:\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Fatalf("simlint reported diagnostics on a tree that must be clean:\n%s", out)
+	}
+}

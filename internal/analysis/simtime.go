@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimTime flags conversions that cross the two time domains: host
+// time.Time/time.Duration on one side, virtual sim.Time/sim.Duration on
+// the other. Both are int64 nanoseconds under the hood, so such a
+// conversion compiles silently — and quietly couples a simulation
+// quantity to a host-clock quantity (or at best smuggles a wall-clock
+// config knob into virtual time without an explicit model decision).
+// Mixed arithmetic without a conversion does not compile, so conversions
+// are exactly the crossing points to audit.
+var SimTime = &Analyzer{
+	Name: "simtime",
+	Doc:  "forbid conversions between wall-clock time types and sim.Time/sim.Duration",
+	Run:  runSimTime,
+}
+
+func runSimTime(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst := tv.Type
+			src := info.TypeOf(unwrapNumericConv(info, call.Args[0]))
+			if src == nil {
+				return true
+			}
+			switch {
+			case isSimTimeType(dst) && isWallTimeType(src):
+				pass.Reportf(call.Pos(),
+					"conversion of wall-clock %s to virtual %s mixes time domains; virtual durations must be built from sim constants or the model's cost parameters",
+					src, dst)
+			case isWallTimeType(dst) && isSimTimeType(src):
+				pass.Reportf(call.Pos(),
+					"conversion of virtual %s to wall-clock %s mixes time domains; report virtual time through sim formatting, not the time package",
+					src, dst)
+			}
+			return true
+		})
+	}
+}
+
+// unwrapNumericConv peels conversions to basic numeric types off e, so
+// that sim.Duration(int64(d)) is judged by d's type, not int64.
+func unwrapNumericConv(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return e
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return e
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&types.IsNumeric == 0 {
+			return e
+		}
+		e = call.Args[0]
+	}
+}
+
+// isWallTimeType reports whether t is time.Time or time.Duration.
+func isWallTimeType(t types.Type) bool {
+	return isNamedTimeType(t, func(pkg *types.Package) bool { return pkg.Path() == "time" })
+}
+
+// isSimTimeType reports whether t is Time or Duration from a package
+// named "sim". Matching on the package name rather than the full import
+// path keeps the analyzers testable against a stub sim package in the
+// testdata corpus; this linter is repo-specific, so the looseness is fine.
+func isSimTimeType(t types.Type) bool {
+	return isNamedTimeType(t, func(pkg *types.Package) bool { return pkg.Name() == "sim" })
+}
+
+func isNamedTimeType(t types.Type, pkgMatch func(*types.Package) bool) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !pkgMatch(obj.Pkg()) {
+		return false
+	}
+	return obj.Name() == "Time" || obj.Name() == "Duration"
+}

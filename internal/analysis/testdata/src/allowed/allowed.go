@@ -1,0 +1,25 @@
+// Package allowed exercises the //simlint:allow directive: every
+// violation in this file carries an audited annotation, so simlint must
+// report nothing.
+package allowed
+
+import "time"
+
+func heartbeat() time.Time {
+	return time.Now() //simlint:allow walltime -- trailing same-line directive
+}
+
+func watchdog() time.Duration {
+	//simlint:allow walltime -- standalone directive covers the next line
+	t0 := time.Now()
+	return time.Since(t0) //simlint:allow walltime
+}
+
+func spawnAndDrain(work func(), pending map[int]func()) {
+	//simlint:allow gostmt,maprange -- one directive may name several rules
+	go work()
+	//simlint:allow maprange -- drain is order-insensitive: every entry runs exactly once
+	for _, fn := range pending {
+		fn()
+	}
+}

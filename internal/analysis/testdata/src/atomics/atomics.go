@@ -1,0 +1,49 @@
+// Package atomics seeds violations for simlint's atomics rule: the
+// sigCounter bug class, where the same variable is accessed both through
+// sync/atomic and with plain reads/writes.
+package atomics
+
+import "sync/atomic"
+
+// counter mixes atomic and plain access to the same package-level var.
+var counter uint64
+
+func bump() {
+	atomic.AddUint64(&counter, 1)
+}
+
+func report() uint64 {
+	return counter // want `\[atomics\] package-level var counter is accessed both via sync/atomic`
+}
+
+type gauge struct {
+	// level mixes atomic and plain access across methods.
+	level int64
+	// floor is only ever read plainly: fine.
+	floor int64
+}
+
+func (g *gauge) raise(by int64) {
+	atomic.AddInt64(&g.level, by)
+}
+
+func (g *gauge) reset() {
+	g.level = 0 // want `\[atomics\] field level is accessed both via sync/atomic`
+	_ = g.floor
+}
+
+// typed is safe by construction and never flagged: the atomic.Uint64 type
+// has no plain-access path.
+type typed struct {
+	n atomic.Uint64
+}
+
+func (t *typed) bump() uint64 {
+	return t.n.Add(1)
+}
+
+// fresh constructs a gauge with a composite literal; initialization before
+// publication is not a plain access.
+func fresh() *gauge {
+	return &gauge{level: 1, floor: 2}
+}

@@ -1,0 +1,15 @@
+// Package globalrand seeds violations for simlint's globalrand rule.
+package globalrand
+
+import (
+	"math/rand" // want `\[globalrand\] import of math/rand`
+)
+
+func bad() int {
+	return rand.Intn(10) // want `\[globalrand\] rand\.Intn draws from math/rand`
+}
+
+func alsoBad() float64 {
+	r := rand.New(rand.NewSource(1)) // want `\[globalrand\] rand\.New draws from math/rand` `\[globalrand\] rand\.NewSource draws from math/rand`
+	return r.Float64()
+}

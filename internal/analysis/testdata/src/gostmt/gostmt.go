@@ -1,0 +1,17 @@
+// Package gostmt seeds violations for simlint's gostmt rule.
+package gostmt
+
+func bad(work func()) {
+	go work() // want `\[gostmt\] go statement inside the simulated kernel`
+}
+
+func alsoBad(done chan struct{}) {
+	go func() { // want `\[gostmt\] go statement inside the simulated kernel`
+		close(done)
+	}()
+}
+
+func fine(work func()) {
+	// Direct calls stay on the single simulated thread of control.
+	work()
+}

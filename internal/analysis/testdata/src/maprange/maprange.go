@@ -1,0 +1,29 @@
+// Package maprange seeds violations for simlint's maprange rule.
+package maprange
+
+type registry map[string]int
+
+func bad(waiters map[int]string) []string {
+	var out []string
+	for _, w := range waiters { // want `\[maprange\] range over map waiters: iteration order is nondeterministic`
+		out = append(out, w)
+	}
+	return out
+}
+
+func alsoBad(r registry) int {
+	sum := 0
+	for _, v := range r { // want `\[maprange\] range over map r: iteration order is nondeterministic`
+		sum += v
+	}
+	return sum
+}
+
+func fine(order []string, lookup map[string]int) int {
+	// Ranging a slice and indexing the map keeps a deterministic order.
+	sum := 0
+	for _, k := range order {
+		sum += lookup[k]
+	}
+	return sum
+}

@@ -1,0 +1,12 @@
+// Package scoped exercises scope gating: it violates both sim-scope-only
+// rules (gostmt) and module-wide rules (walltime). Outside the simulation
+// scope only the module-wide diagnostic must survive. No want comments —
+// the scope test checks the diagnostics directly.
+package scoped
+
+import "time"
+
+func violate(work func()) time.Time {
+	go work()
+	return time.Now()
+}

@@ -1,0 +1,38 @@
+// Package seedflow seeds violations for simlint's seedflow rule.
+package seedflow
+
+import (
+	"os"
+	"sim"
+)
+
+type config struct{ Seed uint64 }
+
+func hash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}
+
+func bad() *sim.Engine {
+	return sim.NewEngine(uint64(os.Getpid())) // want `\[seedflow\] sim\.NewEngine seeded from os\.Getpid\(\)`
+}
+
+func alsoBad(name string) *sim.Rand {
+	return sim.NewRand(hash(name)) // want `\[seedflow\] sim\.NewRand seeded from hash\(name\)`
+}
+
+func fine(cfg config, reps []uint64, i int) *sim.Engine {
+	// Arithmetic over explicitly threaded configuration is the sanctioned
+	// seed path.
+	_ = sim.NewRand(cfg.Seed ^ 0x5eed)
+	_ = sim.NewRand(reps[i] + 17)
+	return sim.NewEngine(cfg.Seed*1000003 + 5)
+}
+
+func derived(r *sim.Rand) *sim.Rand {
+	// Derivations inside the sim package are deterministic by construction.
+	return sim.NewRand(r.Uint64())
+}

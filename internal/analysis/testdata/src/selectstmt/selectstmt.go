@@ -1,0 +1,33 @@
+// Package selectstmt seeds violations for simlint's selectstmt rule.
+package selectstmt
+
+func bad(a, b chan int) int {
+	select { // want `\[selectstmt\] select with 2 communication cases`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func alsoBad(a, b chan int) int {
+	select { // want `\[selectstmt\] select with 2 communication cases`
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 0
+	default:
+		return -1
+	}
+}
+
+func fine(a chan int) int {
+	// A single communication case (with or without default) is
+	// deterministic given the channel's state.
+	select {
+	case v := <-a:
+		return v
+	default:
+		return -1
+	}
+}

@@ -1,0 +1,43 @@
+// Package sim is a minimal stand-in for oversub/internal/sim, just enough
+// surface for the analyzer fixtures to type-check. The analyzers match
+// the package by name, so the stub exercises the same code paths as the
+// real engine package.
+package sim
+
+// Time is a point in virtual time.
+type Time int64
+
+// Duration is a span of virtual time.
+type Duration int64
+
+// Common durations.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Rand is a deterministic random source.
+type Rand struct{ state uint64 }
+
+// NewRand returns a source seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return r.state
+}
+
+// Split returns an independent source derived from this one.
+func (r *Rand) Split() *Rand { return NewRand(r.Uint64()) }
+
+// Engine is a stub simulation engine.
+type Engine struct{ rng *Rand }
+
+// NewEngine returns an engine seeded with seed.
+func NewEngine(seed uint64) *Engine { return &Engine{rng: NewRand(seed)} }
+
+// Rand returns the engine's random source.
+func (e *Engine) Rand() *Rand { return e.rng }

@@ -1,0 +1,26 @@
+// Package simtime seeds violations for simlint's simtime rule.
+package simtime
+
+import (
+	"sim"
+	"time"
+)
+
+func bad(d time.Duration) sim.Duration {
+	return sim.Duration(d) // want `\[simtime\] conversion of wall-clock time\.Duration to virtual sim\.Duration`
+}
+
+func alsoBad(v sim.Duration) time.Duration {
+	return time.Duration(v) // want `\[simtime\] conversion of virtual sim\.Duration to wall-clock time\.Duration`
+}
+
+func laundered(d time.Duration) sim.Duration {
+	// Routing through an integer conversion does not hide the crossing.
+	return sim.Duration(int64(d)) // want `\[simtime\] conversion of wall-clock time\.Duration to virtual sim\.Duration`
+}
+
+func fine(n int64) sim.Duration {
+	// Building virtual durations from numbers and sim constants is the
+	// sanctioned path.
+	return sim.Duration(n) * sim.Microsecond
+}

@@ -1,0 +1,24 @@
+// Package walltime seeds violations for simlint's walltime rule.
+package walltime
+
+import "time"
+
+// Durations and constants are plain numbers: legal.
+const tick = 50 * time.Microsecond
+
+func bad() time.Duration {
+	start := time.Now()      // want `\[walltime\] time\.Now reads the host wall clock`
+	defer time.Sleep(tick)   // want `\[walltime\] time\.Sleep reads the host wall clock`
+	return time.Since(start) // want `\[walltime\] time\.Since reads the host wall clock`
+}
+
+func alsoBad(f func()) {
+	time.AfterFunc(tick, f)   // want `\[walltime\] time\.AfterFunc reads the host wall clock`
+	t := time.NewTicker(tick) // want `\[walltime\] time\.NewTicker reads the host wall clock`
+	t.Stop()
+}
+
+func fine(d time.Duration) time.Duration {
+	// Pure duration arithmetic never touches the host clock.
+	return 3*d + tick
+}

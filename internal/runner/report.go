@@ -39,7 +39,7 @@ func StartReporter(p *Pool, w io.Writer, every time.Duration) *Reporter {
 
 func (r *Reporter) loop() {
 	defer close(r.done)
-	t := time.NewTicker(r.every)
+	t := time.NewTicker(r.every) //simlint:allow walltime -- stderr progress heartbeat; output never reaches results
 	defer t.Stop()
 	for {
 		select {

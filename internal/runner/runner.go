@@ -304,7 +304,7 @@ func (p *Pool) take(id int) *task {
 // runClaimed executes a task the caller has successfully claimed and
 // delivers its Result to the batch.
 func (p *Pool) runClaimed(t *task) {
-	t.started = time.Now()
+	t.started = time.Now() //simlint:allow walltime -- host elapsed metric for Result.Elapsed, never a simulation input
 	p.statsMu.Lock()
 	p.queued--
 	p.running[t] = struct{}{}
@@ -313,7 +313,7 @@ func (p *Pool) runClaimed(t *task) {
 	r := p.exec(t)
 	r.Index = t.index
 	r.Label = t.job.Label
-	r.Elapsed = time.Since(t.started)
+	r.Elapsed = time.Since(t.started) //simlint:allow walltime -- host elapsed metric for Result.Elapsed, never a simulation input
 
 	p.statsMu.Lock()
 	delete(p.running, t)
@@ -374,7 +374,7 @@ func (p *Pool) Stats() Stats {
 	p.statsMu.Lock()
 	defer p.statsMu.Unlock()
 	s := Stats{Queued: p.queued, Running: len(p.running), Done: p.done}
-	now := time.Now()
+	now := time.Now() //simlint:allow walltime -- heartbeat watchdog measures host time, not simulation state
 	for t := range p.running {
 		if d := now.Sub(t.started); d > s.SlowestFor {
 			s.SlowestFor = d

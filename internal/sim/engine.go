@@ -25,20 +25,22 @@ func (ev *Event) Active() bool { return !ev.cancelled && !ev.fired }
 //
 // The zero value is not usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	seq     uint64
-	heap    []*Event
-	rng     *Rand
-	procs   map[*Proc]struct{}
+	now  Time
+	seq  uint64
+	heap []*Event
+	rng  *Rand
+	// procs is the ordered registry of live coroutines, in registration
+	// order. It is deliberately a slice, not a map: any future code that
+	// iterates the live procs (draining, leak reports, debugging dumps)
+	// must observe them in a seed-stable order, never Go's randomized map
+	// order (simlint's maprange rule enforces the same invariant).
+	procs   []*Proc
 	stopped bool
 }
 
 // NewEngine returns an engine with the clock at zero and the given RNG seed.
 func NewEngine(seed uint64) *Engine {
-	return &Engine{
-		rng:   NewRand(seed),
-		procs: make(map[*Proc]struct{}),
-	}
+	return &Engine{rng: NewRand(seed)}
 }
 
 // Now returns the current virtual time.

@@ -32,7 +32,7 @@ func (e *Engine) NewProc(body func(*Proc)) *Proc {
 		parked: make(chan struct{}),
 		body:   body,
 	}
-	e.procs[p] = struct{}{}
+	e.procs = append(e.procs, p)
 	return p
 }
 
@@ -51,6 +51,7 @@ func (p *Proc) Switch() {
 	}
 	if !p.started {
 		p.started = true
+		//simlint:allow gostmt -- coroutine handshake: the owner blocks until the body parks, so one simulated entity runs at a time (DESIGN.md §5)
 		go p.run()
 	} else {
 		p.resume <- struct{}{}
@@ -74,12 +75,30 @@ func (p *Proc) run() {
 			p.panicked = r
 		}
 		p.finished = true
-		delete(p.eng.procs, p)
+		p.eng.removeProc(p)
 		p.parked <- struct{}{}
 	}()
 	p.body(p)
 }
 
+// removeProc drops p from the ordered registry, preserving the
+// registration order of the survivors.
+func (e *Engine) removeProc(p *Proc) {
+	for i, q := range e.procs {
+		if q == p {
+			e.procs = append(e.procs[:i], e.procs[i+1:]...)
+			return
+		}
+	}
+}
+
 // LiveProcs returns the number of procs that have been created and not yet
 // finished. Useful for detecting leaked simulated threads in tests.
 func (e *Engine) LiveProcs() int { return len(e.procs) }
+
+// Procs returns the live procs in registration order. The copy keeps
+// callers from perturbing the registry; the ordering is part of the
+// determinism contract (see Engine.procs).
+func (e *Engine) Procs() []*Proc {
+	return append([]*Proc(nil), e.procs...)
+}

@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+// The proc registry used to be a map, which no code iterated — but one
+// future `for p := range e.procs` away from nondeterministic results. It
+// is now an ordered slice; these tests pin the ordering contract.
+
+func TestProcRegistryOrder(t *testing.T) {
+	e := NewEngine(1)
+	var procs []*Proc
+	for i := 0; i < 8; i++ {
+		procs = append(procs, e.NewProc(func(p *Proc) { p.Park() }))
+	}
+	got := e.Procs()
+	if len(got) != len(procs) {
+		t.Fatalf("Procs() returned %d procs, want %d", len(got), len(procs))
+	}
+	for i := range procs {
+		if got[i] != procs[i] {
+			t.Fatalf("Procs()[%d] is not the %d-th registered proc", i, i)
+		}
+	}
+}
+
+func TestProcRegistryOrderSurvivesRemoval(t *testing.T) {
+	e := NewEngine(1)
+	var procs []*Proc
+	for i := 0; i < 6; i++ {
+		procs = append(procs, e.NewProc(func(p *Proc) {
+			p.Park() // park once, finish on the second switch
+		}))
+	}
+	// Finish procs 1 and 4 out of registration order.
+	for _, i := range []int{4, 1} {
+		procs[i].Switch()
+		procs[i].Switch()
+		if !procs[i].Finished() {
+			t.Fatalf("proc %d did not finish", i)
+		}
+	}
+	want := []*Proc{procs[0], procs[2], procs[3], procs[5]}
+	got := e.Procs()
+	if len(got) != len(want) {
+		t.Fatalf("LiveProcs = %d after removals, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Procs()[%d] out of registration order after removals", i)
+		}
+	}
+	if e.LiveProcs() != len(want) {
+		t.Fatalf("LiveProcs() = %d, want %d", e.LiveProcs(), len(want))
+	}
+}
+
+func TestProcsReturnsCopy(t *testing.T) {
+	e := NewEngine(1)
+	e.NewProc(func(p *Proc) { p.Park() })
+	e.NewProc(func(p *Proc) { p.Park() })
+	snap := e.Procs()
+	snap[0], snap[1] = snap[1], snap[0]
+	if got := e.Procs(); got[0] == snap[0] {
+		t.Fatal("mutating the Procs() snapshot perturbed the registry")
+	}
+}
