@@ -49,4 +49,20 @@ if ! cmp -s "$detdir/serial.txt" "$detdir/parallel.txt"; then
 fi
 echo "parallel output byte-identical to serial."
 
+echo "== trace smoke: oracle + summary determinism =="
+# A quick traced workload runs through the trace-invariant oracle (oversim
+# exits nonzero on any lifecycle violation), and two identical-seed runs
+# must produce byte-identical analytics summaries.
+go build -o "$detdir/oversim" ./cmd/oversim
+"$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -vb -scale 0.05 \
+    -trace "$detdir/trace1.txt" -trace-format summary >/dev/null
+"$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -vb -scale 0.05 \
+    -trace "$detdir/trace2.txt" -trace-format summary >/dev/null
+if ! cmp -s "$detdir/trace1.txt" "$detdir/trace2.txt"; then
+    echo "trace smoke FAILED: identical seeds produced different summaries" >&2
+    diff "$detdir/trace1.txt" "$detdir/trace2.txt" >&2 || true
+    exit 1
+fi
+echo "trace oracle clean; summary byte-identical across identical seeds."
+
 echo "CI passed."

@@ -17,6 +17,11 @@
 // rerunning recomputes only what changed (-nocache to disable). Progress
 // heartbeats go to stderr.
 //
+// -trace <file> additionally records one representative workload under full
+// kernel tracing, validates the event stream against the trace-invariant
+// oracle, and writes the derived analytics summary; it may be used with or
+// without experiments.
+//
 // Absolute times are model outputs at a compressed scale (~1000x smaller
 // problems than the paper's testbed); the comparisons of interest — who
 // wins, by what factor, where crossovers fall — are what the tool reports.
@@ -37,11 +42,12 @@ import (
 )
 
 type options struct {
-	seed    uint64
-	scale   float64
-	quick   bool
-	outDir  string
-	timeout time.Duration
+	seed      uint64
+	scale     float64
+	quick     bool
+	outDir    string
+	timeout   time.Duration
+	tracePath string
 }
 
 type experiment struct {
@@ -79,6 +85,7 @@ func main() {
 	flag.BoolVar(&o.quick, "quick", false, "reduced problem sizes for a fast pass")
 	flag.StringVar(&o.outDir, "out", "", "also write each experiment's output to <dir>/<name>.txt")
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-run host wall-clock budget (0 = unbounded)")
+	flag.StringVar(&o.tracePath, "trace", "", "record a traced, oracle-checked representative run and write its summary to this file")
 	flag.IntVar(&jobs, "jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.BoolVar(&nocache, "nocache", false, "ignore and do not write the result cache")
 	flag.StringVar(&cacheDir, "cache", filepath.Join("results", "cache"), "result cache directory")
@@ -86,7 +93,7 @@ func main() {
 	flag.Parse()
 
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && o.tracePath == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -124,7 +131,19 @@ func main() {
 	os.Exit(func() int {
 		defer pool.Close()
 		defer rep.Stop()
-		return runExperiments(selected, o, pool, cache)
+		exit := 0
+		if o.tracePath != "" {
+			if err := runTraceCheck(o, o.tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+			}
+		}
+		if len(selected) > 0 {
+			if code := runExperiments(selected, o, pool, cache); code != 0 {
+				exit = code
+			}
+		}
+		return exit
 	}())
 }
 

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"oversub"
+	"oversub/internal/trace"
+)
+
+// runTraceCheck implements the -trace flag: it records a full scheduling
+// trace of one representative quick workload (streamcluster, 16 threads on
+// 4 cores with VB — the paper's headline configuration), validates the
+// stream against the trace-invariant oracle, and writes the deterministic
+// analytics summary to path. Identical seeds produce byte-identical files,
+// which is what ci.sh's trace smoke gate compares.
+func runTraceCheck(o options, path string) error {
+	spec := oversub.FindBenchmark("streamcluster")
+	if spec == nil {
+		return fmt.Errorf("hpdc21: trace workload streamcluster missing from the suite")
+	}
+	ring := oversub.NewTraceRing(1 << 22)
+	cfg := oversub.BenchConfig{
+		Threads: 16, Cores: 4, Seed: o.seed, WorkScale: 0.05,
+		Feat:   oversub.Features{VB: true},
+		Tracer: ring,
+	}
+	r := oversub.RunBenchmark(spec, cfg)
+	if r.Err != nil {
+		return fmt.Errorf("hpdc21: trace run did not complete: %w", r.Err)
+	}
+	if ring.Dropped() > 0 {
+		return fmt.Errorf("hpdc21: trace ring wrapped (%d events dropped); cannot validate", ring.Dropped())
+	}
+	if vs := ring.Check(); len(vs) > 0 {
+		for i, v := range vs {
+			if i >= 20 {
+				fmt.Fprintf(os.Stderr, "hpdc21: ... and %d more violations\n", len(vs)-i)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "hpdc21: trace invariant violated: %s\n", v)
+		}
+		return fmt.Errorf("hpdc21: %d trace-invariant violations", len(vs))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hpdc21: %w", err)
+	}
+	if err := trace.WriteSummary(f, ring.Events(), ring.Dropped()); err != nil {
+		f.Close()
+		return fmt.Errorf("hpdc21: write trace summary: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("hpdc21: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "hpdc21: trace oracle passed (%d events) -> %s\n", ring.Len(), path)
+	return nil
+}

@@ -21,6 +21,7 @@ import (
 	"oversub/internal/runner"
 	"oversub/internal/stats"
 	"oversub/internal/sweep"
+	"oversub/internal/trace"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func main() {
 		scale   = flag.Float64("scale", 1.0, "work scale")
 		growTo  = flag.Int("grow", 0, "resize the cpuset to this many cores at t=2ms")
 		traceTo = flag.String("trace", "", "write the scheduling event trace to this file")
+		traceFm = flag.String("trace-format", "text", "trace output format: text (one event per line), json (Chrome trace-event, Perfetto-loadable), summary (derived analytics tables)")
 		doSweep = flag.Bool("sweep", false, "sweep threads x cores x kernel variants and print a table")
 		reps    = flag.Int("reps", 1, "repetitions over seeds seed..seed+reps-1, with mean/stddev")
 		jobs    = flag.Int("jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
@@ -66,6 +68,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-trace records a single run; it cannot be combined with -reps > 1")
 		os.Exit(2)
 	}
+	switch *traceFm {
+	case "text", "json", "summary":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want text, json, or summary)\n", *traceFm)
+		os.Exit(2)
+	}
 
 	pool := runner.New(*jobs)
 	defer pool.Close()
@@ -83,14 +91,26 @@ func main() {
 		if workers == 0 {
 			workers = 4
 		}
-		r := oversub.RunMemcached(oversub.MemcachedConfig{
+		mcfg := oversub.MemcachedConfig{
 			Workers: workers, Cores: *cores, VB: *vb, Seed: *seed,
-		})
+		}
+		var ring *oversub.TraceRing
+		if *traceTo != "" {
+			ring = oversub.NewTraceRing(1 << 20)
+			mcfg.Tracer = ring
+		}
+		r := oversub.RunMemcached(mcfg)
 		fmt.Printf("memcached: workers=%d cores=%d vb=%v\n", workers, *cores, *vb)
 		fmt.Printf("  throughput   %12.0f ops/s\n", r.ThroughputOpsSec)
 		fmt.Printf("  latency mean %12.1f us\n", r.Mean.Micros())
 		fmt.Printf("  latency p95  %12.1f us\n", r.P95.Micros())
 		fmt.Printf("  latency p99  %12.1f us\n", r.P99.Micros())
+		if ring != nil {
+			if err := emitTrace(ring, *traceTo, *traceFm); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 		return
 	}
 
@@ -156,18 +176,50 @@ func main() {
 			r.BWD.Windows, r.BWD.Detections, r.BWD.TruePositive, r.BWD.FalsePositive)
 	}
 	if ring != nil {
-		f, err := os.Create(*traceTo)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if _, err := ring.WriteTo(f); err != nil {
+		if err := emitTrace(ring, *traceTo, *traceFm); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("  trace           %12d events -> %s\n", ring.Len(), *traceTo)
 	}
+}
+
+// emitTrace validates the recorded trace against the invariant oracle and
+// writes it to path in the chosen format. Oracle violations are fatal: a
+// trace that breaks the thread-lifecycle state machine means a kernel bug,
+// not a formatting problem. A wrapped ring only warns — the oracle needs a
+// complete stream.
+func emitTrace(ring *oversub.TraceRing, path, format string) error {
+	if ring.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "oversim: trace ring wrapped (%d events dropped); invariant oracle skipped\n", ring.Dropped())
+	} else if vs := ring.Check(); len(vs) > 0 {
+		for i, v := range vs {
+			if i >= 20 {
+				fmt.Fprintf(os.Stderr, "oversim: ... and %d more violations\n", len(vs)-i)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "oversim: trace invariant violated: %s\n", v)
+		}
+		return fmt.Errorf("oversim: %d trace-invariant violations", len(vs))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var werr error
+	switch format {
+	case "text":
+		_, werr = ring.WriteTo(f)
+	case "json":
+		werr = trace.WriteChromeTrace(f, ring.Events())
+	case "summary":
+		werr = trace.WriteSummary(f, ring.Events(), ring.Dropped())
+	}
+	if werr != nil {
+		return werr
+	}
+	return f.Close()
 }
 
 // runReps fans reps runs of the same configuration — seeds cfg.Seed through

@@ -165,6 +165,7 @@ func TestDefaultSimScope(t *testing.T) {
 		"oversub/internal/sim",
 		"oversub/internal/sched",
 		"oversub/internal/workload",
+		"oversub/internal/trace",
 		"oversub/cmd/hpdc21",
 		"oversub/cmd/simlint",
 	} {
@@ -177,7 +178,6 @@ func TestDefaultSimScope(t *testing.T) {
 		"oversub/internal/runner",
 		"oversub/internal/analysis",
 		"oversub/internal/rbtree",
-		"oversub/internal/trace",
 	} {
 		if in(path) {
 			t.Errorf("%s should not be in simulation scope", path)

@@ -148,6 +148,7 @@ func (k *Kernel) evacuateDisabled(prev int) {
 		// Preempt whatever is running there.
 		if t := c.curr; t != nil {
 			k.closeSegment(c)
+			k.trace(c.id, t, "preempt", 0)
 			k.offCPU(c, t, false)
 			k.enqueue(c, t)
 		}

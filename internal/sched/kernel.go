@@ -294,6 +294,7 @@ func (k *Kernel) Spawn(name string, body func(*Thread)) *Thread {
 	t.cpu = target
 	c := k.cpus[target]
 	t.vruntime = c.minV
+	k.trace(target, t, "spawn", int64(target))
 	k.enqueue(c, t)
 	k.reschedule(c)
 	return t
@@ -346,6 +347,7 @@ func (k *Kernel) enqueue(c *cpu, t *Thread) {
 	if t.vblocked {
 		c.nrBlocked++
 	}
+	k.trace(c.id, t, "enqueue", int64(c.tree.Len()))
 	if c.vbIdle && !t.vblocked {
 		k.exitVBIdle(c)
 	}
@@ -709,6 +711,7 @@ func (k *Kernel) applyDirective(t *Thread) {
 		return
 	case reqYield:
 		c.overhead += k.costs.SyscallEntry
+		k.trace(c.id, t, "yield", 0)
 		k.offCPU(c, t, true)
 		k.enqueue(c, t)
 		k.reschedule(c)
@@ -729,6 +732,7 @@ func (k *Kernel) applyDirective(t *Thread) {
 		k.offCPU(c, t, true)
 		t.state = StateSleeping
 		d := t.req.sleep
+		k.trace(c.id, t, "sleep", int64(d))
 		k.eng.After(d, func() { k.timerWake(t) })
 		k.reschedule(c)
 	default:
@@ -900,6 +904,9 @@ func (k *Kernel) placeWoken(c *cpu, t *Thread) {
 		// The cpuset shrank while the waker was mid-path; retarget.
 		c = k.cpus[k.idlestCPU(t.cpu)]
 	}
+	// The wake precedes the migrate and enqueue events it causes, so the
+	// recorded stream reads wake -> migrate -> enqueue -> dispatch.
+	k.trace(c.id, t, "wake", 0)
 	if t.cpu != c.id {
 		k.accountMigration(t, t.cpu, c.id)
 	}
@@ -912,7 +919,6 @@ func (k *Kernel) placeWoken(c *cpu, t *Thread) {
 	}
 	k.enqueue(c, t)
 	k.Metrics.Wakeups++
-	k.trace(c.id, t, "wake", 0)
 	if c.curr == nil {
 		k.reschedule(c)
 	}
@@ -1034,6 +1040,7 @@ func (k *Kernel) VWake(waker *Thread, t *Thread) {
 		}
 	}
 	c := k.cpus[t.cpu]
+	k.trace(c.id, t, "vwake", 0)
 	k.dequeue(t)
 	t.vblocked = false
 	floor := c.minV - k.costs.SleeperBonus
@@ -1042,7 +1049,6 @@ func (k *Kernel) VWake(waker *Thread, t *Thread) {
 	}
 	k.enqueue(c, t)
 	k.Metrics.VBWakes++
-	k.trace(c.id, t, "vwake", 0)
 	if c.vbIdle {
 		k.exitVBIdle(c)
 		return

@@ -37,6 +37,11 @@ func (l *Latency) Mean() sim.Duration {
 
 // Percentile returns the p-th percentile (0 < p <= 100) by the
 // nearest-rank method, or 0 with no samples.
+//
+// Out-of-contract p is clamped rather than rejected: p <= 0 returns the
+// smallest sample (rank 1) and p > 100 returns the largest (rank n), so a
+// caller interpolating percentile labels can never index outside the
+// sample set. With a single sample every p returns that sample.
 func (l *Latency) Percentile(p float64) sim.Duration {
 	n := len(l.samples)
 	if n == 0 {

@@ -55,6 +55,34 @@ func TestPercentileUnsortedInput(t *testing.T) {
 	}
 }
 
+func TestPercentileClampsOutOfContract(t *testing.T) {
+	// p <= 0 and p > 100 are out of the documented contract but must clamp
+	// to the extreme ranks instead of panicking or indexing out of range.
+	var l Latency
+	for _, v := range []sim.Duration{30, 10, 20} {
+		l.Add(v)
+	}
+	if got := l.Percentile(0); got != 10 {
+		t.Errorf("p0 = %v, want smallest sample 10", got)
+	}
+	if got := l.Percentile(-5); got != 10 {
+		t.Errorf("p-5 = %v, want smallest sample 10", got)
+	}
+	if got := l.Percentile(150); got != 30 {
+		t.Errorf("p150 = %v, want largest sample 30", got)
+	}
+}
+
+func TestPercentileSingleSample(t *testing.T) {
+	var l Latency
+	l.Add(42)
+	for _, p := range []float64{0, 1, 50, 100, 200} {
+		if got := l.Percentile(p); got != 42 {
+			t.Errorf("p%v of single sample = %v, want 42", p, got)
+		}
+	}
+}
+
 // Property: percentile matches a naive reference on random inputs.
 func TestPercentileMatchesReference(t *testing.T) {
 	f := func(raw []uint16, pRaw uint8) bool {

@@ -1,0 +1,339 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"oversub/internal/sim"
+	"oversub/internal/stats"
+)
+
+// This file derives scheduling analytics from a recorded event stream:
+// per-thread time-in-state breakdowns, wake-to-dispatch latency
+// distributions, per-CPU runqueue-depth timelines, and the migration flow
+// matrix. Every output is rendered in a deterministic order (thread id,
+// CPU id, kind name), so identical seeds produce byte-identical summaries.
+
+// ThreadState is one thread's reconstructed time-in-state breakdown.
+type ThreadState struct {
+	Thread     int
+	Runnable   sim.Duration // enqueued, waiting for a CPU
+	Running    sim.Duration // current on a CPU
+	Sleeping   sim.Duration // vanilla-blocked or in a timed sleep
+	VBlocked   sim.Duration // virtually blocked (thread_state set, on the rq)
+	Dispatches int
+}
+
+// WakeLatency holds the wake-to-dispatch latency distributions of a trace:
+// the scheduling delay between a wakeup event and the woken thread's next
+// dispatch, separated by wakeup flavour (vanilla wake vs VB flag clear).
+type WakeLatency struct {
+	Wake  stats.Latency
+	VWake stats.Latency
+}
+
+// CPUDepth summarises one CPU's runqueue-depth timeline: depth samples are
+// taken from enqueue events (whose Arg records the post-insert queue
+// length) and decremented at each dispatch; the mean is time-weighted over
+// the span between the CPU's first and last events.
+type CPUDepth struct {
+	CPU     int
+	Samples int
+	Mean    float64
+	Max     int
+}
+
+// Analytics is everything derived from one event stream.
+type Analytics struct {
+	Kinds      []KindCount
+	Threads    []ThreadState
+	Latency    WakeLatency
+	Depths     []CPUDepth
+	Migrations MigrationMatrix
+}
+
+// MigrationMatrix counts thread migrations by (from CPU, to CPU).
+type MigrationMatrix struct {
+	// N[from][to] is the migration count; both dimensions are sized to the
+	// largest CPU id seen in the trace plus one.
+	N [][]int64
+	// Total is the sum over all pairs.
+	Total int64
+}
+
+// threadKind classifies a per-thread state for the reconstruction walk.
+type threadKind int
+
+const (
+	tkUnseen threadKind = iota
+	tkRunnable
+	tkRunning
+	tkSleeping
+	tkVBlocked
+	tkExited
+)
+
+// Analyze derives the full analytics bundle from events (chronological, as
+// returned by Ring.Events).
+func Analyze(events []Event) *Analytics {
+	a := &Analytics{Kinds: CountKinds(events)}
+	a.analyzeThreads(events)
+	a.analyzeDepths(events)
+	a.analyzeMigrations(events)
+	return a
+}
+
+// analyzeThreads reconstructs per-thread states and wake latencies.
+func (a *Analytics) analyzeThreads(events []Event) {
+	maxTID := -1
+	for _, e := range events {
+		if e.Thread > maxTID {
+			maxTID = e.Thread
+		}
+	}
+	if maxTID < 0 {
+		return
+	}
+	type tstate struct {
+		kind     threadKind
+		since    sim.Time
+		wakeAt   sim.Time // pending wake awaiting dispatch (-1 = none)
+		vwakeAt  sim.Time
+		seen     bool
+		breakdwn ThreadState
+	}
+	ts := make([]tstate, maxTID+1)
+	for i := range ts {
+		ts[i].wakeAt = -1
+		ts[i].vwakeAt = -1
+	}
+	var end sim.Time
+	if len(events) > 0 {
+		end = events[len(events)-1].At
+	}
+	charge := func(s *tstate, until sim.Time) {
+		d := until.Sub(s.since)
+		if d < 0 {
+			d = 0
+		}
+		switch s.kind {
+		case tkRunnable:
+			s.breakdwn.Runnable += d
+		case tkRunning:
+			s.breakdwn.Running += d
+		case tkSleeping:
+			s.breakdwn.Sleeping += d
+		case tkVBlocked:
+			s.breakdwn.VBlocked += d
+		}
+		s.since = until
+	}
+	for _, e := range events {
+		if e.Thread < 0 || e.Thread > maxTID {
+			continue
+		}
+		s := &ts[e.Thread]
+		s.seen = true
+		s.breakdwn.Thread = e.Thread
+		charge(s, e.At)
+		switch e.Kind {
+		case Spawn, Wake, VWake, Preempt, SliceEnd, Yield, BWD, PLE, Migrate:
+			s.kind = tkRunnable
+		case Enqueue:
+			// A VB thread's re-enqueue repositions it at the queue tail; it
+			// stays virtually blocked. All other enqueues leave (or confirm)
+			// the runnable state.
+			if s.kind != tkVBlocked {
+				s.kind = tkRunnable
+			}
+		case Dispatch:
+			s.kind = tkRunning
+			s.breakdwn.Dispatches++
+			if s.wakeAt >= 0 {
+				a.Latency.Wake.Add(e.At.Sub(s.wakeAt))
+				s.wakeAt = -1
+			}
+			if s.vwakeAt >= 0 {
+				a.Latency.VWake.Add(e.At.Sub(s.vwakeAt))
+				s.vwakeAt = -1
+			}
+		case Block, Sleep:
+			s.kind = tkSleeping
+		case VBlock:
+			s.kind = tkVBlocked
+		case Exit:
+			s.kind = tkExited
+		}
+		if e.Kind == Wake {
+			s.wakeAt = e.At
+		}
+		if e.Kind == VWake {
+			s.vwakeAt = e.At
+		}
+	}
+	for i := range ts {
+		if !ts[i].seen {
+			continue
+		}
+		charge(&ts[i], end)
+		a.Threads = append(a.Threads, ts[i].breakdwn)
+	}
+}
+
+// analyzeDepths builds the per-CPU runqueue-depth summaries.
+func (a *Analytics) analyzeDepths(events []Event) {
+	maxCPU := -1
+	for _, e := range events {
+		if e.CPU > maxCPU {
+			maxCPU = e.CPU
+		}
+	}
+	if maxCPU < 0 {
+		return
+	}
+	type dstate struct {
+		depth   int
+		since   sim.Time
+		seen    bool
+		samples int
+		max     int
+		area    float64 // depth integrated over time (ns units)
+		first   sim.Time
+		last    sim.Time
+	}
+	ds := make([]dstate, maxCPU+1)
+	for _, e := range events {
+		if e.CPU < 0 {
+			continue
+		}
+		s := &ds[e.CPU]
+		if !s.seen {
+			s.seen = true
+			s.first = e.At
+			s.since = e.At
+		}
+		s.area += float64(s.depth) * float64(e.At.Sub(s.since))
+		s.since = e.At
+		s.last = e.At
+		switch e.Kind {
+		case Enqueue:
+			// Arg is the authoritative post-insert queue length; using it as
+			// an absolute resample corrects any drift from untraced dequeues.
+			s.depth = int(e.Arg)
+			s.samples++
+			if s.depth > s.max {
+				s.max = s.depth
+			}
+		case Dispatch:
+			if s.depth > 0 {
+				s.depth--
+			}
+		}
+	}
+	for cpu := range ds {
+		s := &ds[cpu]
+		if !s.seen || s.samples == 0 {
+			continue
+		}
+		d := CPUDepth{CPU: cpu, Samples: s.samples, Max: s.max}
+		if span := s.last.Sub(s.first); span > 0 {
+			d.Mean = s.area / float64(span)
+		} else {
+			d.Mean = float64(s.depth)
+		}
+		a.Depths = append(a.Depths, d)
+	}
+}
+
+// analyzeMigrations fills the migration flow matrix.
+func (a *Analytics) analyzeMigrations(events []Event) {
+	size := 0
+	for _, e := range events {
+		if e.CPU+1 > size {
+			size = e.CPU + 1
+		}
+		if e.Kind == Migrate && int(e.Arg)+1 > size {
+			size = int(e.Arg) + 1
+		}
+	}
+	if size == 0 {
+		return
+	}
+	m := make([][]int64, size)
+	for i := range m {
+		m[i] = make([]int64, size)
+	}
+	for _, e := range events {
+		if e.Kind != Migrate || e.CPU < 0 {
+			continue
+		}
+		to := int(e.Arg)
+		if to < 0 || to >= size {
+			continue
+		}
+		m[e.CPU][to]++
+		a.Migrations.Total++
+	}
+	a.Migrations.N = m
+}
+
+// WriteSummary renders the analytics of an event stream as deterministic
+// text tables: event counts by kind, wake-to-dispatch latency, per-thread
+// time-in-state, per-CPU runqueue depth, and the migration flow matrix.
+// dropped is the ring's overwrite count, reported in the header.
+func WriteSummary(w io.Writer, events []Event, dropped uint64) error {
+	a := Analyze(events)
+	bw := &errWriter{w: w}
+	bw.printf("trace summary: %d events", len(events))
+	if dropped > 0 {
+		bw.printf(" (%d older events dropped)", dropped)
+	}
+	bw.printf("\n\nevents by kind:\n")
+	for _, kc := range a.Kinds {
+		bw.printf("  %-16s %8d\n", kc.Kind, kc.N)
+	}
+	bw.printf("\nwake-to-dispatch latency:\n")
+	bw.printf("  %-6s %s\n", "wake", a.Latency.Wake.String())
+	bw.printf("  %-6s %s\n", "vwake", a.Latency.VWake.String())
+	bw.printf("\ntime in state per thread:\n")
+	bw.printf("  %-6s %12s %12s %12s %12s %10s\n",
+		"thread", "runnable", "running", "sleeping", "vblocked", "dispatches")
+	for _, t := range a.Threads {
+		bw.printf("  %-6d %12v %12v %12v %12v %10d\n",
+			t.Thread, t.Runnable, t.Running, t.Sleeping, t.VBlocked, t.Dispatches)
+	}
+	bw.printf("\nrunqueue depth per cpu:\n")
+	bw.printf("  %-4s %8s %8s %6s\n", "cpu", "samples", "mean", "max")
+	for _, d := range a.Depths {
+		bw.printf("  %-4d %8d %8.2f %6d\n", d.CPU, d.Samples, d.Mean, d.Max)
+	}
+	bw.printf("\nmigration flow (%d total, rows=from, cols=to):\n", a.Migrations.Total)
+	if a.Migrations.Total > 0 {
+		bw.printf("  %4s", "")
+		for to := range a.Migrations.N {
+			bw.printf(" %6d", to)
+		}
+		bw.printf("\n")
+		for from := range a.Migrations.N {
+			bw.printf("  %4d", from)
+			for to := range a.Migrations.N[from] {
+				bw.printf(" %6d", a.Migrations.N[from][to])
+			}
+			bw.printf("\n")
+		}
+	}
+	return bw.err
+}
+
+// errWriter folds fmt errors into one sticky error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

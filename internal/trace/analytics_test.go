@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+	"oversub/internal/workload"
+)
+
+// syntheticLifecycle is a hand-built two-thread stream with known spans.
+func syntheticLifecycle() []Event {
+	us := func(n int64) sim.Time { return sim.Time(n) * sim.Time(sim.Microsecond) }
+	return []Event{
+		{At: us(0), CPU: 0, Thread: 0, Kind: Spawn, Arg: 0},
+		{At: us(0), CPU: 0, Thread: 0, Kind: Enqueue, Arg: 1},
+		{At: us(1), CPU: 0, Thread: 0, Kind: Dispatch, Arg: 1}, // t0 runnable 1us
+		{At: us(5), CPU: 0, Thread: 0, Kind: Block},            // t0 ran 4us
+		{At: us(6), CPU: 1, Thread: 1, Kind: Spawn, Arg: 1},
+		{At: us(6), CPU: 1, Thread: 1, Kind: Enqueue, Arg: 1},
+		{At: us(7), CPU: 1, Thread: 1, Kind: Dispatch, Arg: 1},
+		{At: us(9), CPU: 0, Thread: 0, Kind: Wake},              // t0 slept 4us
+		{At: us(9), CPU: 0, Thread: 0, Kind: Enqueue, Arg: 1},   //
+		{At: us(12), CPU: 0, Thread: 0, Kind: Dispatch, Arg: 1}, // wake->dispatch 3us
+		{At: us(14), CPU: 1, Thread: 1, Kind: Migrate, Arg: 0},
+		{At: us(14), CPU: 1, Thread: 1, Kind: Preempt},
+		{At: us(15), CPU: 0, Thread: 0, Kind: Exit},
+	}
+}
+
+func TestAnalyzeTimeInState(t *testing.T) {
+	a := Analyze(syntheticLifecycle())
+	if len(a.Threads) != 2 {
+		t.Fatalf("threads analyzed = %d, want 2", len(a.Threads))
+	}
+	t0 := a.Threads[0]
+	us := func(n int64) sim.Duration { return sim.Duration(n) * sim.Microsecond }
+	if t0.Runnable != us(1+3) {
+		t.Errorf("t0 runnable = %v, want 4us", t0.Runnable)
+	}
+	if t0.Running != us(4+3) {
+		t.Errorf("t0 running = %v, want 7us", t0.Running)
+	}
+	if t0.Sleeping != us(4) {
+		t.Errorf("t0 sleeping = %v, want 4us", t0.Sleeping)
+	}
+	if t0.Dispatches != 2 {
+		t.Errorf("t0 dispatches = %d, want 2", t0.Dispatches)
+	}
+}
+
+func TestAnalyzeWakeLatency(t *testing.T) {
+	a := Analyze(syntheticLifecycle())
+	if a.Latency.Wake.Count() != 1 {
+		t.Fatalf("wake latency samples = %d, want 1", a.Latency.Wake.Count())
+	}
+	if got := a.Latency.Wake.Max(); got != 3*sim.Microsecond {
+		t.Errorf("wake->dispatch latency = %v, want 3us", got)
+	}
+	if a.Latency.VWake.Count() != 0 {
+		t.Errorf("vwake latency samples = %d, want 0", a.Latency.VWake.Count())
+	}
+}
+
+func TestAnalyzeMigrationsAndDepths(t *testing.T) {
+	a := Analyze(syntheticLifecycle())
+	if a.Migrations.Total != 1 {
+		t.Fatalf("migrations = %d, want 1", a.Migrations.Total)
+	}
+	if a.Migrations.N[1][0] != 1 {
+		t.Errorf("migration 1->0 = %d, want 1", a.Migrations.N[1][0])
+	}
+	if len(a.Depths) != 2 {
+		t.Fatalf("depth rows = %d, want 2", len(a.Depths))
+	}
+	if a.Depths[0].CPU != 0 || a.Depths[0].Samples != 2 || a.Depths[0].Max != 1 {
+		t.Errorf("cpu0 depth = %+v", a.Depths[0])
+	}
+}
+
+func TestWriteSummaryDeterministic(t *testing.T) {
+	run := func() string {
+		spec := workload.Find("streamcluster")
+		r := NewRing(1 << 20)
+		res := workload.Run(spec, workload.RunConfig{
+			Threads: 8, Cores: 2, Seed: 13, WorkScale: 0.02,
+			Feat:   sched.Features{VB: true},
+			Tracer: r,
+		})
+		if res.Err != nil {
+			t.Fatalf("run: %v", res.Err)
+		}
+		var b bytes.Buffer
+		if err := WriteSummary(&b, r.Events(), r.Dropped()); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	s1, s2 := run(), run()
+	if s1 != s2 {
+		t.Error("identical seeds produced different summaries")
+	}
+	for _, want := range []string{"events by kind:", "wake-to-dispatch latency:",
+		"time in state per thread:", "runqueue depth per cpu:", "migration flow"} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("summary missing section %q", want)
+		}
+	}
+	if !strings.Contains(s1, string(VBlock)) {
+		t.Error("summary kind table missing vblock")
+	}
+}
+
+// chromeTrace is the decoded shape of the export, enough to prove the JSON
+// is well-formed Chrome trace-event format.
+type chromeTrace struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Name string          `json:"name"`
+		Ph   string          `json:"ph"`
+		Ts   float64         `json:"ts"`
+		Dur  float64         `json:"dur"`
+		Pid  int             `json:"pid"`
+		Tid  int             `json:"tid"`
+		Args json.RawMessage `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeTraceLoadable(t *testing.T) {
+	spec := workload.Find("streamcluster")
+	r := NewRing(1 << 20)
+	res := workload.Run(spec, workload.RunConfig{
+		Threads: 8, Cores: 2, Seed: 13, WorkScale: 0.02, Tracer: r,
+	})
+	if res.Err != nil {
+		t.Fatalf("run: %v", res.Err)
+	}
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &ct); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var slices, instants, meta int
+	for _, e := range ct.TraceEvents {
+		switch e.Ph {
+		case "X":
+			slices++
+			if e.Dur < 0 {
+				t.Fatalf("negative slice duration: %+v", e)
+			}
+		case "i":
+			instants++
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if slices == 0 || instants == 0 || meta == 0 {
+		t.Errorf("export has %d slices, %d instants, %d metadata events; want all > 0",
+			slices, instants, meta)
+	}
+}
+
+func TestWriteChromeTraceSynthetic(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteChromeTrace(&b, syntheticLifecycle()); err != nil {
+		t.Fatal(err)
+	}
+	var ct chromeTrace
+	if err := json.Unmarshal(b.Bytes(), &ct); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, b.String())
+	}
+	// t0's first slice: dispatch at 1us, block at 5us -> ts 1000us? No: ts
+	// is in microseconds of virtual time, so dispatch at 1us -> ts 1.
+	found := false
+	for _, e := range ct.TraceEvents {
+		if e.Ph == "X" && e.Name == "t0" && e.Ts == 1 && e.Dur == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected t0 slice ts=1 dur=4 in export:\n%s", b.String())
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteChromeTrace exports the event stream in the Chrome trace-event JSON
+// format (the "JSON Array Format" with a traceEvents wrapper), loadable in
+// Perfetto (ui.perfetto.dev) and chrome://tracing.
+//
+// The export models each CPU as a thread track (pid 0, tid = CPU id):
+// running intervals become complete ("X") slices named after the running
+// thread, and wakeups, migrations, spawns, and cpuset resizes become
+// thread-scoped instant ("i") events. Timestamps are microseconds, as the
+// format requires; sub-microsecond precision is kept as fractional ts.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.printf(",\n")
+		}
+		first = false
+		bw.printf(format, args...)
+	}
+
+	// Name the per-CPU tracks.
+	maxCPU := -1
+	for _, e := range events {
+		if e.CPU > maxCPU {
+			maxCPU = e.CPU
+		}
+	}
+	emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"cpus\"}}")
+	for cpu := 0; cpu <= maxCPU; cpu++ {
+		emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"cpu%d\"}}", cpu, cpu)
+	}
+
+	// Open running slice per CPU: thread id and start time.
+	type open struct {
+		thread int
+		start  int64 // ns
+	}
+	running := make([]open, maxCPU+1)
+	for i := range running {
+		running[i].thread = -1
+	}
+	ts := func(ns int64) string {
+		// Microseconds with nanosecond precision kept as fraction.
+		return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+	}
+	closeSlice := func(cpu int, endNS int64, reason Kind) {
+		o := &running[cpu]
+		if o.thread < 0 {
+			return
+		}
+		dur := endNS - o.start
+		emit("{\"name\":\"t%d\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":0,\"tid\":%d,\"args\":{\"thread\":%d,\"end\":%q}}",
+			o.thread, ts(o.start), ts(dur), cpu, o.thread, string(reason))
+		o.thread = -1
+	}
+
+	var lastNS int64
+	for _, e := range events {
+		ns := int64(e.At)
+		if ns > lastNS {
+			lastNS = ns
+		}
+		switch e.Kind {
+		case Dispatch:
+			closeSlice(e.CPU, ns, Dispatch) // defensive: a dispatch implies the CPU was free
+			running[e.CPU] = open{thread: e.Thread, start: ns}
+		case Preempt, SliceEnd, Yield, Block, VBlock, Sleep, BWD, PLE, Exit:
+			if e.CPU >= 0 && e.CPU <= maxCPU && running[e.CPU].thread == e.Thread {
+				closeSlice(e.CPU, ns, e.Kind)
+			}
+		case Wake, VWake, Migrate, Spawn, CPUResize:
+			tid := e.CPU
+			if tid < 0 {
+				tid = 0
+			}
+			emit("{\"name\":%q,\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%d,\"args\":{\"thread\":%d,\"arg\":%d}}",
+				string(e.Kind), ts(ns), tid, e.Thread, e.Arg)
+		}
+	}
+	// Close slices still open at the end of the trace.
+	for cpu := range running {
+		closeSlice(cpu, lastNS, "trace-end")
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}

@@ -6,6 +6,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"oversub/internal/sim"
 )
@@ -13,12 +14,20 @@ import (
 // Kind labels a scheduling event.
 type Kind string
 
-// Event kinds emitted by the kernel.
+// Event kinds emitted by the kernel. Together they cover every state
+// transition of the thread lifecycle (spawn → enqueue → dispatch →
+// preempt/block/vblock/sleep/yield → wake/vwake → migrate → exit), the
+// detector actions (BWD, PLE), and cpuset resizes; see DESIGN.md
+// "Observability" for the taxonomy and each kind's Arg meaning.
 const (
+	Spawn     Kind = "spawn"
+	Enqueue   Kind = "enqueue"
 	Dispatch  Kind = "dispatch"
 	Preempt   Kind = "preempt"
+	Yield     Kind = "yield"
 	Block     Kind = "block"
 	VBlock    Kind = "vblock"
+	Sleep     Kind = "sleep"
 	Wake      Kind = "wake"
 	VWake     Kind = "vwake"
 	Migrate   Kind = "migrate"
@@ -35,7 +44,11 @@ type Event struct {
 	CPU    int
 	Thread int // thread id, -1 when not applicable
 	Kind   Kind
-	Arg    int64 // kind-specific: target CPU for migrate, new size for resize
+	// Arg is kind-specific: target CPU for migrate and spawn, runqueue
+	// length after insert for enqueue, eligible count for dispatch, sleep
+	// duration for sleep, skipped-peer count for bwd-deschedule, new cpuset
+	// size for cpuset-resize.
+	Arg int64
 }
 
 // String renders the event as one log line.
@@ -60,8 +73,13 @@ func NewRing(capacity int) *Ring {
 	return &Ring{events: make([]Event, 0, capacity)}
 }
 
-// Only restricts recording to the given kinds (all kinds when never called).
+// Only restricts recording to the given kinds. Calling it with no kinds
+// restores unfiltered recording — the same behaviour as never calling it.
 func (r *Ring) Only(kinds ...Kind) *Ring {
+	if len(kinds) == 0 {
+		r.filter = nil
+		return r
+	}
 	r.filter = make(map[Kind]bool, len(kinds))
 	for _, k := range kinds {
 		r.filter[k] = true
@@ -106,12 +124,40 @@ func (r *Ring) Dropped() uint64 { return r.dropped }
 // Len returns the number of retained events.
 func (r *Ring) Len() int { return len(r.events) }
 
-// Summary counts events by kind.
+// Summary counts events by kind. Textual consumers should prefer Counts:
+// ranging over the returned map prints in randomized order.
 func (r *Ring) Summary() map[Kind]int {
 	out := make(map[Kind]int)
 	for _, e := range r.Events() {
 		out[e.Kind]++
 	}
+	return out
+}
+
+// KindCount is one entry of an ordered event-kind tally.
+type KindCount struct {
+	Kind Kind
+	N    int
+}
+
+// Counts tallies events by kind, sorted by kind name — the deterministic
+// counterpart of Summary for rendered output.
+func (r *Ring) Counts() []KindCount { return CountKinds(r.Events()) }
+
+// CountKinds tallies an event slice by kind, sorted by kind name.
+func CountKinds(events []Event) []KindCount {
+	idx := make(map[Kind]int)
+	var out []KindCount
+	for _, e := range events {
+		i, ok := idx[e.Kind]
+		if !ok {
+			i = len(out)
+			idx[e.Kind] = i
+			out = append(out, KindCount{Kind: e.Kind})
+		}
+		out[i].N++
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
 	return out
 }
 

@@ -89,6 +89,98 @@ func TestFilter(t *testing.T) {
 	}
 }
 
+func TestOnlyZeroArgsRestoresAll(t *testing.T) {
+	// Regression: Only() with no kinds used to install an empty filter that
+	// silently dropped every event; it must restore unfiltered recording.
+	r := NewRing(16).Only()
+	r.Trace(1, 0, 1, string(Dispatch), 0)
+	if r.Len() != 1 {
+		t.Fatalf("Only() dropped events: Len = %d, want 1", r.Len())
+	}
+	r = NewRing(16).Only(Migrate)
+	r.Trace(1, 0, 1, string(Dispatch), 0)
+	if r.Len() != 0 {
+		t.Fatal("filter inactive")
+	}
+	r.Only() // clear the filter
+	r.Trace(2, 0, 1, string(Dispatch), 0)
+	if r.Len() != 1 {
+		t.Errorf("Only() did not clear the filter: Len = %d, want 1", r.Len())
+	}
+}
+
+func TestRingWraparoundChronological(t *testing.T) {
+	// After overwrite, Events() must still return chronological order with
+	// the oldest retained event first.
+	r := NewRing(4)
+	for i := 0; i < 11; i++ {
+		r.Trace(sim.Time(i)*sim.Time(sim.Microsecond), i%2, i, string(Dispatch), 0)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := 7 + i; e.Thread != want {
+			t.Errorf("evs[%d].Thread = %d, want %d", i, e.Thread, want)
+		}
+		if i > 0 && evs[i].At < evs[i-1].At {
+			t.Errorf("events out of order at %d: %v < %v", i, evs[i].At, evs[i-1].At)
+		}
+	}
+	if r.Dropped() != 7 {
+		t.Errorf("Dropped = %d, want 7", r.Dropped())
+	}
+}
+
+func TestWriteToDroppedTrailer(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Trace(sim.Time(i), 0, i, string(Dispatch), 0)
+	}
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "(3 older events dropped)") {
+		t.Errorf("missing dropped-events trailer in:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Errorf("WriteTo emitted %d lines, want 2 events + 1 trailer", lines)
+	}
+}
+
+func TestWriteToNoTrailerWhenFull(t *testing.T) {
+	r := NewRing(4)
+	r.Trace(1, 0, 1, string(Dispatch), 0)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "dropped") {
+		t.Errorf("unexpected trailer without overwrites:\n%s", sb.String())
+	}
+}
+
+func TestCountsOrdered(t *testing.T) {
+	r := NewRing(16)
+	r.Trace(1, 0, 1, string(Wake), 0)
+	r.Trace(2, 0, 1, string(Dispatch), 0)
+	r.Trace(3, 0, 1, string(Wake), 0)
+	r.Trace(4, 0, 1, string(Block), 0)
+	got := r.Counts()
+	want := []KindCount{{Block, 1}, {Dispatch, 1}, {Wake, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("Counts() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Counts()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestWriteTo(t *testing.T) {
 	r := NewRing(16)
 	r.Trace(sim.Time(5*sim.Microsecond), 2, 7, string(VWake), 0)

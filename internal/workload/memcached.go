@@ -24,6 +24,9 @@ type MemcachedConfig struct {
 	// LockShards is the hash-table lock granularity (default 4).
 	LockShards int
 	Seed       uint64
+	// Tracer, when non-nil, receives every scheduling event of the run.
+	// It is excluded from result-cache fingerprints (json:"-").
+	Tracer sched.Tracer `json:"-"`
 }
 
 // MemcachedResult reports the client-observed service metrics.
@@ -73,6 +76,9 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 	}
 
 	k := newKernel(cfg.Cores, 1, sched.Features{VB: cfg.VB}, cfg.Seed)
+	if cfg.Tracer != nil {
+		k.SetTracer(cfg.Tracer)
+	}
 	eng := k.Engine()
 	tbl := futex.NewTable(k, 0)
 
