@@ -1,6 +1,7 @@
 package oversub
 
 import (
+	"oversub/internal/metrics"
 	"oversub/internal/sim"
 	"oversub/internal/trace"
 	"oversub/internal/workload"
@@ -99,3 +100,26 @@ const (
 // NewTraceRing allocates a scheduling-event tracer for BenchConfig.Tracer
 // or System.Trace.
 func NewTraceRing(capacity int) *TraceRing { return trace.NewRing(capacity) }
+
+// Metrics sub-API: the deterministic time-series sampler (internal/metrics).
+type (
+	// MetricsSampler snapshots scheduler state at a fixed sim-time interval
+	// into a bounded, deterministically downsampled ring; attach it via
+	// BenchConfig.Sampler, MemcachedConfig.Sampler, or System.Sample.
+	MetricsSampler = metrics.Sampler
+	// MetricsConfig configures a MetricsSampler (interval, ring capacity).
+	MetricsConfig = metrics.Config
+)
+
+// NewMetricsSampler allocates a time-series sampler. The zero MetricsConfig
+// gives the defaults: 100 microsecond interval (the BWD window), 4096-slot
+// ring.
+func NewMetricsSampler(cfg MetricsConfig) *MetricsSampler { return metrics.NewSampler(cfg) }
+
+// Sample attaches a time-series sampler to the system's kernel and returns
+// it; export the series after Run with its Write methods.
+func (s *System) Sample(cfg MetricsConfig) *MetricsSampler {
+	sm := metrics.NewSampler(cfg)
+	s.kernel.SetSampler(sm)
+	return sm
+}

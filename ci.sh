@@ -65,4 +65,34 @@ if ! cmp -s "$detdir/trace1.txt" "$detdir/trace2.txt"; then
 fi
 echo "trace oracle clean; summary byte-identical across identical seeds."
 
+echo "== metrics smoke: time-series determinism =="
+# Two identical-seed runs with the time-series sampler attached must
+# export byte-identical summaries: sampling is driven purely by sim time
+# and the export is a pure function of the sample stream.
+"$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -vb -scale 0.05 \
+    -metrics "$detdir/metrics1.txt" -metrics-format summary >/dev/null
+"$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -vb -scale 0.05 \
+    -metrics "$detdir/metrics2.txt" -metrics-format summary >/dev/null
+if ! cmp -s "$detdir/metrics1.txt" "$detdir/metrics2.txt"; then
+    echo "metrics smoke FAILED: identical seeds produced different series" >&2
+    diff "$detdir/metrics1.txt" "$detdir/metrics2.txt" >&2 || true
+    exit 1
+fi
+echo "metrics summary byte-identical across identical seeds."
+
+echo "== bench smoke: BENCH schema + comparison =="
+# A quick bench pass must emit a schema-valid BENCH_<date>.json (the
+# harness validates before writing and exits nonzero otherwise), and a
+# second pass must report a comparison against the first. Quick reports
+# never gate regression thresholds.
+"$detdir/hpdc21" -quick -bench-out "$detdir/bench" bench >"$detdir/bench1.txt"
+ls "$detdir"/bench/BENCH_*.json >/dev/null
+"$detdir/hpdc21" -quick -bench-out "$detdir/bench" bench >"$detdir/bench2.txt"
+if ! grep -q "comparison against" "$detdir/bench2.txt"; then
+    echo "bench smoke FAILED: second run reported no comparison" >&2
+    cat "$detdir/bench2.txt" >&2
+    exit 1
+fi
+echo "bench report valid; second run compared against the first."
+
 echo "CI passed."

@@ -1,0 +1,248 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"oversub"
+	"oversub/internal/metrics"
+	"oversub/internal/runner"
+)
+
+// The bench subcommand is the repo's continuous-benchmark harness: it
+// measures how fast the HOST simulates — simulated-ns per wall second,
+// events per second, allocations per run — across a fixed workload matrix,
+// writes a dated BENCH_<YYYYMMDD>.json report, and compares it against the
+// latest prior report. It is deliberately the one audited wall-clock
+// consumer in the module outside the runner's heartbeat plumbing: wall
+// time here measures the simulator, never feeds it.
+
+// benchSeed fixes every harness run: host throughput is the variable under
+// measurement, so the simulated work must be identical across reports.
+const benchSeed = 7
+
+// benchWorkCase is one matrix cell: a name, a repetition count, and a body
+// returning the run's simulated span and event count.
+type benchWorkCase struct {
+	name string
+	runs int
+	fn   func(rep int) (simNS int64, events uint64)
+}
+
+// benchMatrix builds the fixed workload matrix. The cells cover the
+// simulator's distinct hot paths: futex-heavy blocking with and without
+// VB, BWD's per-window spin scans, the epoll/service path, and elastic
+// cpuset resizing. -quick shrinks problem sizes (the report is marked
+// Quick and never gates comparisons).
+func benchMatrix(quick bool) []benchWorkCase {
+	scale := 0.1
+	runs := 3
+	requests := 10000
+	if quick {
+		scale = 0.02
+		runs = 1
+		requests = 2000
+	}
+	suite := func(bench string, cfg oversub.BenchConfig) func(int) (int64, uint64) {
+		return func(rep int) (int64, uint64) {
+			spec := oversub.FindBenchmark(bench)
+			if spec == nil {
+				panic("bench: workload " + bench + " missing from the suite")
+			}
+			c := cfg
+			c.Seed = benchSeed + uint64(rep)
+			c.WorkScale = scale
+			r := oversub.RunBenchmark(spec, c)
+			if r.Err != nil {
+				panic(fmt.Sprintf("bench: %s did not complete: %v", bench, r.Err))
+			}
+			return int64(r.ExecTime), r.Events
+		}
+	}
+	return []benchWorkCase{
+		{"streamcluster-vb", runs, suite("streamcluster", oversub.BenchConfig{
+			Threads: 16, Cores: 4, Feat: oversub.Features{VB: true},
+		})},
+		{"streamcluster-vanilla", runs, suite("streamcluster", oversub.BenchConfig{
+			Threads: 16, Cores: 4,
+		})},
+		{"lu-bwd-spin", runs, suite("lu", oversub.BenchConfig{
+			Threads: 16, Cores: 4, Detect: oversub.DetectBWD,
+		})},
+		{"elastic-resize", runs, suite("streamcluster", oversub.BenchConfig{
+			Threads: 32, Cores: 4, Feat: oversub.Features{VB: true},
+			Plan: []oversub.CPUChange{{At: 2 * oversub.Millisecond, Cores: 8}},
+		})},
+		{"memcached", runs, func(rep int) (int64, uint64) {
+			r := oversub.RunMemcached(oversub.MemcachedConfig{
+				Workers: 8, Cores: 4, VB: true,
+				Requests: requests, Seed: benchSeed + uint64(rep),
+			})
+			return int64(r.ExecTime), r.Events
+		}},
+	}
+}
+
+// measureCase runs one matrix cell serially and aggregates its host-side
+// measurements.
+func measureCase(c benchWorkCase) metrics.BenchCase {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now() //simlint:allow walltime -- the bench harness measures host throughput; wall time never feeds the simulation
+	var simNS int64
+	var events uint64
+	for i := 0; i < c.runs; i++ {
+		s, e := c.fn(i)
+		simNS += s
+		events += e
+	}
+	wall := time.Since(start).Seconds() //simlint:allow walltime -- the bench harness measures host throughput; wall time never feeds the simulation
+	runtime.ReadMemStats(&after)
+	bc := metrics.BenchCase{
+		Name:    c.name,
+		Runs:    c.runs,
+		WallSec: wall,
+		SimNS:   simNS,
+		Events:  events,
+	}
+	if wall > 0 {
+		bc.SimNSPerWallSec = float64(simNS) / wall
+		bc.EventsPerSec = float64(events) / wall
+	}
+	if d := after.Mallocs - before.Mallocs; after.Mallocs >= before.Mallocs {
+		bc.AllocsPerRun = d / uint64(c.runs)
+	}
+	if d := after.TotalAlloc - before.TotalAlloc; after.TotalAlloc >= before.TotalAlloc {
+		bc.BytesPerRun = d / uint64(c.runs)
+	}
+	return bc
+}
+
+// measureParallel runs one batch of identical runs twice — serially
+// inline, then fanned out across the shared pool — and reports the
+// runner's scaling.
+func measureParallel(pool *runner.Pool, quick bool) *metrics.BenchParallel {
+	scale := 0.05
+	batch := 8
+	if quick {
+		scale = 0.02
+		batch = 4
+	}
+	spec := oversub.FindBenchmark("streamcluster")
+	if spec == nil {
+		return nil
+	}
+	one := func(seed uint64) {
+		r := oversub.RunBenchmark(spec, oversub.BenchConfig{
+			Threads: 16, Cores: 4, Feat: oversub.Features{VB: true},
+			Seed: seed, WorkScale: scale,
+		})
+		if r.Err != nil {
+			panic(fmt.Sprintf("bench: parallel cell run failed: %v", r.Err))
+		}
+	}
+	start := time.Now() //simlint:allow walltime -- the bench harness measures host throughput; wall time never feeds the simulation
+	for i := 0; i < batch; i++ {
+		one(benchSeed + uint64(i))
+	}
+	serialSec := time.Since(start).Seconds() //simlint:allow walltime -- the bench harness measures host throughput; wall time never feeds the simulation
+
+	jobs := make([]runner.Job, batch)
+	for i := 0; i < batch; i++ {
+		seed := benchSeed + uint64(i)
+		jobs[i] = runner.Job{
+			Label: fmt.Sprintf("bench-par/seed=%d", seed),
+			Fn: func(context.Context) (any, error) {
+				one(seed)
+				return nil, nil
+			},
+		}
+	}
+	start = time.Now() //simlint:allow walltime -- the bench harness measures host throughput; wall time never feeds the simulation
+	for _, r := range pool.Map(context.Background(), jobs) {
+		if r.Err != nil {
+			panic(fmt.Sprintf("bench: parallel cell run failed: %v", r.Err))
+		}
+	}
+	parSec := time.Since(start).Seconds() //simlint:allow walltime -- the bench harness measures host throughput; wall time never feeds the simulation
+
+	p := &metrics.BenchParallel{Jobs: pool.Workers(), Runs: batch}
+	if serialSec > 0 {
+		p.SerialRunsPerSec = float64(batch) / serialSec
+	}
+	if parSec > 0 {
+		p.ParallelRunsPerSec = float64(batch) / parSec
+	}
+	if p.SerialRunsPerSec > 0 {
+		p.Speedup = p.ParallelRunsPerSec / p.SerialRunsPerSec
+	}
+	return p
+}
+
+// runBench implements the bench subcommand: measure the matrix, write the
+// dated report into outDir, and compare against the latest prior report
+// there. A non-quick comparison that regresses any case's throughput by
+// more than threshold is an error.
+func runBench(o options, pool *runner.Pool, outDir string, threshold float64) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return fmt.Errorf("hpdc21: bench: %w", err)
+	}
+	date := time.Now().Format("2006-01-02") //simlint:allow walltime -- report date stamp, never a simulation input
+	report := &metrics.BenchReport{
+		Schema:     metrics.BenchSchema,
+		Date:       date,
+		Quick:      o.quick,
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	fmt.Printf("bench: measuring simulator host throughput (%d-wide pool, quick=%v)\n",
+		pool.Workers(), o.quick)
+	fmt.Printf("  %-24s %5s %9s %16s %14s %12s\n",
+		"case", "runs", "wall(s)", "sim-ns/s", "events/s", "allocs/run")
+	for _, c := range benchMatrix(o.quick) {
+		bc := measureCase(c)
+		report.Cases = append(report.Cases, bc)
+		fmt.Printf("  %-24s %5d %9.2f %16.3g %14.3g %12d\n",
+			bc.Name, bc.Runs, bc.WallSec, bc.SimNSPerWallSec, bc.EventsPerSec, bc.AllocsPerRun)
+	}
+	if p := measureParallel(pool, o.quick); p != nil {
+		report.Parallel = p
+		fmt.Printf("  %-24s %d jobs: %.1f -> %.1f runs/s (speedup %.2fx)\n",
+			"parallel", p.Jobs, p.SerialRunsPerSec, p.ParallelRunsPerSec, p.Speedup)
+	}
+
+	// Read the baseline before writing: a report from earlier today lives
+	// at the same path and is this run's natural predecessor.
+	prevPath, prev, err := metrics.LatestBench(outDir, "")
+	if err != nil {
+		return fmt.Errorf("hpdc21: bench: %w", err)
+	}
+	path := filepath.Join(outDir, metrics.BenchFileName(date))
+	if err := metrics.WriteBench(path, report); err != nil {
+		return fmt.Errorf("hpdc21: bench: %w", err)
+	}
+	fmt.Printf("bench: report written -> %s\n", path)
+	if prev == nil {
+		fmt.Println("bench: no prior report; this run is the baseline")
+		return nil
+	}
+	fmt.Printf("bench: previous report %s\n", prevPath)
+	regs, err := metrics.CompareBench(os.Stdout, prev, report, threshold)
+	if err != nil {
+		return fmt.Errorf("hpdc21: bench: %w", err)
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "hpdc21: bench: %s regressed to %.0f%% of baseline throughput\n",
+				r.Case, r.Ratio*100)
+		}
+		return fmt.Errorf("hpdc21: bench: %d case(s) regressed beyond the %.0f%% threshold",
+			len(regs), threshold*100)
+	}
+	return nil
+}

@@ -25,7 +25,8 @@ type env struct {
 // cacheSchema salts every cache fingerprint. Bump it when a change outside
 // the fingerprinted inputs (engine internals, workload bodies) alters
 // results, so stale entries from older binaries cannot be served.
-const cacheSchema = "hpdc21/v1"
+// v2: Result/MemcachedResult grew Events/ExecTime fields.
+const cacheSchema = "hpdc21/v2"
 
 // fingerprint keys one run from everything that determines its outcome:
 // the schema version, the run kind, the kernel cost table (a recalibration
@@ -105,6 +106,7 @@ func (e *env) bench(spec *oversub.BenchSpec, cfg oversub.BenchConfig) benchFutur
 	label := fmt.Sprintf("%s/%dT/%dc", spec.Name, cfg.Threads, cfg.Cores)
 	return benchFuture{submit(e, label, key, func() benchEntry {
 		r := oversub.RunBenchmark(spec, cfg)
+		e.pool.ReportSim(int64(r.ExecTime))
 		ent := benchEntry{Res: r}
 		if r.Err != nil {
 			ent.Err = r.Err.Error()
@@ -128,7 +130,9 @@ func (e *env) memcached(cfg oversub.MemcachedConfig) future[oversub.MemcachedRes
 	key := fingerprint("memcached", cfg)
 	label := fmt.Sprintf("memcached/%dw/%dc", cfg.Workers, cfg.Cores)
 	return submit(e, label, key, func() oversub.MemcachedResult {
-		return oversub.RunMemcached(cfg)
+		r := oversub.RunMemcached(cfg)
+		e.pool.ReportSim(int64(r.ExecTime))
+		return r
 	})
 }
 

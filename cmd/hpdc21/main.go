@@ -20,7 +20,15 @@
 // -trace <file> additionally records one representative workload under full
 // kernel tracing, validates the event stream against the trace-invariant
 // oracle, and writes the derived analytics summary; it may be used with or
-// without experiments.
+// without experiments. -metrics <file> likewise records one representative
+// workload with the sim-time time-series sampler attached and exports the
+// series (-metrics-format {csv,json,summary}).
+//
+// The bench subcommand runs the self-benchmark matrix (host simulation
+// throughput over fixed workloads) and writes BENCH_<date>.json to
+// -bench-out, comparing against the latest prior report and flagging
+// per-case throughput drops beyond -bench-threshold. -cpuprofile and
+// -memprofile write pprof profiles of whatever the invocation ran.
 //
 // Absolute times are model outputs at a compressed scale (~1000x smaller
 // problems than the paper's testbed); the comparisons of interest — who
@@ -42,12 +50,14 @@ import (
 )
 
 type options struct {
-	seed      uint64
-	scale     float64
-	quick     bool
-	outDir    string
-	timeout   time.Duration
-	tracePath string
+	seed       uint64
+	scale      float64
+	quick      bool
+	outDir     string
+	timeout    time.Duration
+	tracePath  string
+	metricsTo  string
+	metricsFmt string
 }
 
 type experiment struct {
@@ -76,9 +86,13 @@ var experiments = []experiment{
 func main() {
 	o := options{}
 	var (
-		jobs     int
-		nocache  bool
-		cacheDir string
+		jobs       int
+		nocache    bool
+		cacheDir   string
+		cpuprofile string
+		memprofile string
+		benchOut   string
+		benchThr   float64
 	)
 	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
 	flag.Float64Var(&o.scale, "scale", 1.0, "work scale factor for suite benchmarks")
@@ -86,22 +100,39 @@ func main() {
 	flag.StringVar(&o.outDir, "out", "", "also write each experiment's output to <dir>/<name>.txt")
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-run host wall-clock budget (0 = unbounded)")
 	flag.StringVar(&o.tracePath, "trace", "", "record a traced, oracle-checked representative run and write its summary to this file")
+	flag.StringVar(&o.metricsTo, "metrics", "", "record a deterministic metrics time-series of a representative run and write it to this file")
+	flag.StringVar(&o.metricsFmt, "metrics-format", "summary", "metrics output format: csv, json, or summary")
 	flag.IntVar(&jobs, "jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.BoolVar(&nocache, "nocache", false, "ignore and do not write the result cache")
 	flag.StringVar(&cacheDir, "cache", filepath.Join("results", "cache"), "result cache directory")
+	flag.StringVar(&cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+	flag.StringVar(&memprofile, "memprofile", "", "write a pprof heap profile to this file on exit")
+	flag.StringVar(&benchOut, "bench-out", ".", "bench: directory for the BENCH_<date>.json report")
+	flag.Float64Var(&benchThr, "bench-threshold", 0.2, "bench: throughput regression threshold vs the previous report (0.2 = 20%)")
 	flag.Usage = usage
 	flag.Parse()
 
 	args := flag.Args()
-	if len(args) == 0 && o.tracePath == "" {
+	if len(args) == 0 && o.tracePath == "" && o.metricsTo == "" {
 		usage()
 		os.Exit(2)
 	}
+	switch o.metricsFmt {
+	case "csv", "json", "summary":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (want csv, json, or summary)\n", o.metricsFmt)
+		os.Exit(2)
+	}
+	doBench := false
 	var selected []experiment
 	if len(args) == 1 && args[0] == "all" {
 		selected = experiments
 	} else {
 		for _, a := range args {
+			if a == "bench" {
+				doBench = true
+				continue
+			}
 			found := false
 			for _, e := range experiments {
 				if e.name == a {
@@ -131,9 +162,27 @@ func main() {
 	os.Exit(func() int {
 		defer pool.Close()
 		defer rep.Stop()
+		stopProf, err := startProfiles(cpuprofile, memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer stopProf()
 		exit := 0
 		if o.tracePath != "" {
 			if err := runTraceCheck(o, o.tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+			}
+		}
+		if o.metricsTo != "" {
+			if err := runMetricsCheck(o, o.metricsTo, o.metricsFmt); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+			}
+		}
+		if doBench {
+			if err := runBench(o, pool, benchOut, benchThr); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				exit = 1
 			}
@@ -203,10 +252,12 @@ func emit(e experiment, o options, data []byte) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hpdc21 [flags] <experiment>...|all\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "usage: hpdc21 [flags] <experiment>...|all|bench\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-6s %s\n", e.name, e.title)
 	}
+	fmt.Fprintf(os.Stderr, "  %-6s %s\n", "bench",
+		"continuous benchmark: simulator host throughput -> BENCH_<date>.json")
 	fmt.Fprintf(os.Stderr, "\nflags:\n")
 	flag.PrintDefaults()
 }

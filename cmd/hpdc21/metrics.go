@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"oversub"
+)
+
+// runMetricsCheck implements the -metrics flag: it runs the same
+// representative workload the -trace flag records (streamcluster, 16
+// threads on 4 cores with VB) with the time-series sampler attached and
+// writes the series to path in the chosen format. Sampling is driven
+// purely by sim time and the export is a pure function of the sample
+// stream, so identical seeds produce byte-identical files — ci.sh's
+// metrics smoke gate compares two of them.
+func runMetricsCheck(o options, path, format string) error {
+	spec := oversub.FindBenchmark("streamcluster")
+	if spec == nil {
+		return fmt.Errorf("hpdc21: metrics workload streamcluster missing from the suite")
+	}
+	sampler := oversub.NewMetricsSampler(oversub.MetricsConfig{})
+	cfg := oversub.BenchConfig{
+		Threads: 16, Cores: 4, Seed: o.seed, WorkScale: 0.05,
+		Feat:    oversub.Features{VB: true},
+		Sampler: sampler,
+	}
+	r := oversub.RunBenchmark(spec, cfg)
+	if r.Err != nil {
+		return fmt.Errorf("hpdc21: metrics run did not complete: %w", r.Err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hpdc21: %w", err)
+	}
+	if err := sampler.Write(f, format); err != nil {
+		f.Close()
+		return fmt.Errorf("hpdc21: write metrics %s: %w", format, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("hpdc21: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "hpdc21: metrics sampled (%d windows) -> %s\n", sampler.Len(), path)
+	return nil
+}

@@ -42,9 +42,13 @@ func main() {
 		growTo  = flag.Int("grow", 0, "resize the cpuset to this many cores at t=2ms")
 		traceTo = flag.String("trace", "", "write the scheduling event trace to this file")
 		traceFm = flag.String("trace-format", "text", "trace output format: text (one event per line), json (Chrome trace-event, Perfetto-loadable), summary (derived analytics tables)")
+		metTo   = flag.String("metrics", "", "write a deterministic metrics time-series of the run to this file")
+		metFm   = flag.String("metrics-format", "summary", "metrics output format: csv, json, or summary")
 		doSweep = flag.Bool("sweep", false, "sweep threads x cores x kernel variants and print a table")
 		reps    = flag.Int("reps", 1, "repetitions over seeds seed..seed+reps-1, with mean/stddev")
 		jobs    = flag.Int("jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -68,12 +72,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-trace records a single run; it cannot be combined with -reps > 1")
 		os.Exit(2)
 	}
+	if *metTo != "" && (*reps > 1 || *doSweep) {
+		fmt.Fprintln(os.Stderr, "-metrics records a single run; it cannot be combined with -reps > 1 or -sweep")
+		os.Exit(2)
+	}
 	switch *traceFm {
 	case "text", "json", "summary":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -trace-format %q (want text, json, or summary)\n", *traceFm)
 		os.Exit(2)
 	}
+	switch *metFm {
+	case "csv", "json", "summary":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (want csv, json, or summary)\n", *metFm)
+		os.Exit(2)
+	}
+
+	stopProf, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	pool := runner.New(*jobs)
 	defer pool.Close()
@@ -99,6 +120,11 @@ func main() {
 			ring = oversub.NewTraceRing(1 << 20)
 			mcfg.Tracer = ring
 		}
+		var sampler *oversub.MetricsSampler
+		if *metTo != "" {
+			sampler = oversub.NewMetricsSampler(oversub.MetricsConfig{})
+			mcfg.Sampler = sampler
+		}
 		r := oversub.RunMemcached(mcfg)
 		fmt.Printf("memcached: workers=%d cores=%d vb=%v\n", workers, *cores, *vb)
 		fmt.Printf("  throughput   %12.0f ops/s\n", r.ThroughputOpsSec)
@@ -107,6 +133,12 @@ func main() {
 		fmt.Printf("  latency p99  %12.1f us\n", r.P99.Micros())
 		if ring != nil {
 			if err := emitTrace(ring, *traceTo, *traceFm); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if sampler != nil {
+			if err := emitMetrics(sampler, *metTo, *metFm); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -146,6 +178,11 @@ func main() {
 		ring = oversub.NewTraceRing(1 << 20)
 		cfg.Tracer = ring
 	}
+	var sampler *oversub.MetricsSampler
+	if *metTo != "" {
+		sampler = oversub.NewMetricsSampler(oversub.MetricsConfig{})
+		cfg.Sampler = sampler
+	}
 	if *growTo > 0 {
 		cfg.Plan = []oversub.CPUChange{{At: 2 * oversub.Millisecond, Cores: *growTo}}
 	}
@@ -182,6 +219,28 @@ func main() {
 		}
 		fmt.Printf("  trace           %12d events -> %s\n", ring.Len(), *traceTo)
 	}
+	if sampler != nil {
+		if err := emitMetrics(sampler, *metTo, *metFm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  metrics         %12d windows -> %s\n", sampler.Len(), *metTo)
+	}
+}
+
+// emitMetrics writes the sampled time-series to path in the chosen format.
+// The export is a pure function of the sample stream, so identical seeds
+// produce byte-identical files.
+func emitMetrics(s *oversub.MetricsSampler, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Write(f, format); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emitTrace validates the recorded trace against the invariant oracle and
@@ -233,7 +292,9 @@ func runReps(pool *runner.Pool, spec *oversub.BenchSpec, cfg oversub.BenchConfig
 		jobs[i] = runner.Job{
 			Label: fmt.Sprintf("%s/seed=%d", spec.Name, c.Seed),
 			Fn: func(context.Context) (any, error) {
-				return oversub.RunBenchmark(spec, c), nil
+				r := oversub.RunBenchmark(spec, c)
+				pool.ReportSim(int64(r.ExecTime))
+				return r, nil
 			},
 		}
 	}

@@ -76,7 +76,7 @@ func Analyzers() []*Analyzer {
 // a deterministic function of the seed.
 var simScopeDirs = []string{
 	"sim", "sched", "futex", "epoll", "bwd", "locks",
-	"hw", "mem", "omp", "workload", "sweep", "stats", "trace",
+	"hw", "mem", "omp", "workload", "sweep", "stats", "trace", "metrics",
 }
 
 // DefaultSimScope returns the predicate marking which import paths of the

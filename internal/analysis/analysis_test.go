@@ -166,6 +166,7 @@ func TestDefaultSimScope(t *testing.T) {
 		"oversub/internal/sched",
 		"oversub/internal/workload",
 		"oversub/internal/trace",
+		"oversub/internal/metrics",
 		"oversub/cmd/hpdc21",
 		"oversub/cmd/simlint",
 	} {

@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BenchSchema versions the BENCH_*.json document shape. Bump it when a
+// field changes meaning; Validate rejects mismatched schemas so a report
+// written by a newer harness is never silently half-read.
+const BenchSchema = "oversub-bench/v1"
+
+// BenchCase is one workload cell of the continuous-benchmark matrix: how
+// fast the host simulated it. All numbers are host-side observations
+// (the bench harness is the repo's audited wall-clock consumer); nothing
+// here feeds back into simulation results.
+type BenchCase struct {
+	// Name identifies the matrix cell ("streamcluster-vb", "memcached", ...).
+	Name string `json:"name"`
+	// Runs is how many repetitions the numbers aggregate over.
+	Runs int `json:"runs"`
+	// WallSec is total host wall-clock time across the runs.
+	WallSec float64 `json:"wall_sec"`
+	// SimNS is total simulated time across the runs.
+	SimNS int64 `json:"sim_ns"`
+	// Events is total simulation events executed across the runs.
+	Events uint64 `json:"events"`
+	// SimNSPerWallSec is the headline throughput: simulated nanoseconds
+	// advanced per host wall-clock second.
+	SimNSPerWallSec float64 `json:"sim_ns_per_wall_sec"`
+	// EventsPerSec is engine event throughput.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// AllocsPerRun and BytesPerRun are heap allocation counts/volumes per
+	// run (runtime.ReadMemStats deltas; approximate under concurrency).
+	AllocsPerRun uint64 `json:"allocs_per_run"`
+	BytesPerRun  uint64 `json:"bytes_per_run"`
+}
+
+// BenchParallel records the runner-scaling cell: the same batch of runs
+// serial and fanned out across the pool.
+type BenchParallel struct {
+	// Jobs is the parallel pool width.
+	Jobs int `json:"jobs"`
+	// Runs is the batch size.
+	Runs int `json:"runs"`
+	// SerialRunsPerSec and ParallelRunsPerSec are batch throughputs.
+	SerialRunsPerSec   float64 `json:"serial_runs_per_sec"`
+	ParallelRunsPerSec float64 `json:"parallel_runs_per_sec"`
+	// Speedup is parallel over serial.
+	Speedup float64 `json:"speedup"`
+}
+
+// BenchReport is one BENCH_*.json document: a dated snapshot of simulator
+// host throughput across the representative workload matrix.
+type BenchReport struct {
+	Schema string `json:"schema"`
+	// Date is the host date the report was taken, formatted YYYY-MM-DD
+	// (it also names the file: BENCH_YYYYMMDD.json).
+	Date string `json:"date"`
+	// Quick marks a reduced-size smoke run; comparisons never gate
+	// against or regress-check quick reports.
+	Quick bool `json:"quick"`
+	// Go is the toolchain version, GOMAXPROCS the host parallelism.
+	Go         string `json:"go"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+
+	Cases    []BenchCase    `json:"cases"`
+	Parallel *BenchParallel `json:"parallel,omitempty"`
+}
+
+// Validate checks the report against the schema: version match, a
+// plausible date, at least one case, unique non-empty case names, and
+// non-negative measurements.
+func (r *BenchReport) Validate() error {
+	if r.Schema != BenchSchema {
+		return fmt.Errorf("bench: schema %q, want %q", r.Schema, BenchSchema)
+	}
+	if len(r.Date) != 10 || r.Date[4] != '-' || r.Date[7] != '-' {
+		return fmt.Errorf("bench: date %q not YYYY-MM-DD", r.Date)
+	}
+	if len(r.Cases) == 0 {
+		return fmt.Errorf("bench: no cases")
+	}
+	seen := make(map[string]bool, len(r.Cases))
+	for _, c := range r.Cases {
+		if c.Name == "" {
+			return fmt.Errorf("bench: case with empty name")
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("bench: duplicate case %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Runs <= 0 {
+			return fmt.Errorf("bench: case %q: runs %d", c.Name, c.Runs)
+		}
+		if c.WallSec < 0 || c.SimNS < 0 || c.SimNSPerWallSec < 0 || c.EventsPerSec < 0 {
+			return fmt.Errorf("bench: case %q: negative measurement", c.Name)
+		}
+	}
+	if p := r.Parallel; p != nil {
+		if p.Jobs <= 0 || p.Runs <= 0 || p.SerialRunsPerSec < 0 || p.ParallelRunsPerSec < 0 {
+			return fmt.Errorf("bench: parallel cell malformed")
+		}
+	}
+	return nil
+}
+
+// WriteBench persists the report as indented JSON at path (atomically:
+// temp file + rename), validating first.
+func WriteBench(path string, r *BenchReport) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encode: %w", err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*")
+	if err != nil {
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadBench reads and validates one BENCH_*.json report.
+func LoadBench(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// LatestBench finds the lexicographically latest valid BENCH_*.json under
+// dir (the date-stamped naming makes lexical order chronological),
+// skipping the excluded path (the file about to be overwritten is its own
+// predecessor). Returns "" and nil when none exists.
+func LatestBench(dir, exclude string) (string, *BenchReport, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", nil, fmt.Errorf("bench: %w", err)
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(paths)))
+	for _, p := range paths {
+		if exclude != "" && filepath.Clean(p) == filepath.Clean(exclude) {
+			continue
+		}
+		r, err := LoadBench(p)
+		if err != nil {
+			continue // unreadable or foreign-schema reports are not baselines
+		}
+		return p, r, nil
+	}
+	return "", nil, nil
+}
+
+// BenchRegression is one case whose throughput fell beyond the threshold.
+type BenchRegression struct {
+	Case string
+	// Ratio is new throughput over old (0.8 = 20% slower).
+	Ratio float64
+}
+
+// CompareBench renders a comparison of cur against prev to w and returns
+// the cases whose sim-ns-per-wall-sec throughput regressed by more than
+// threshold (0.2 = 20%). Quick reports on either side disable regression
+// flagging — reduced problem sizes are not comparable gates — but the
+// table still renders.
+func CompareBench(w io.Writer, prev, cur *BenchReport, threshold float64) ([]BenchRegression, error) {
+	prevBy := make(map[string]BenchCase, len(prev.Cases))
+	for _, c := range prev.Cases {
+		prevBy[c.Name] = c
+	}
+	if _, err := fmt.Fprintf(w, "bench: comparison against %s baseline (threshold %.0f%%)\n",
+		prev.Date, threshold*100); err != nil {
+		return nil, err
+	}
+	if _, err := fmt.Fprintf(w, "  %-24s %16s %16s %8s\n",
+		"case", "old sim-ns/s", "new sim-ns/s", "ratio"); err != nil {
+		return nil, err
+	}
+	gate := !prev.Quick && !cur.Quick
+	var regs []BenchRegression
+	for _, c := range cur.Cases {
+		old, ok := prevBy[c.Name]
+		if !ok || old.SimNSPerWallSec <= 0 {
+			if _, err := fmt.Fprintf(w, "  %-24s %16s %16.3g %8s\n",
+				c.Name, "-", c.SimNSPerWallSec, "new"); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ratio := c.SimNSPerWallSec / old.SimNSPerWallSec
+		mark := ""
+		if gate && ratio < 1-threshold {
+			mark = "  REGRESSION"
+			regs = append(regs, BenchRegression{Case: c.Name, Ratio: ratio})
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s %16.3g %16.3g %8.2f%s\n",
+			c.Name, old.SimNSPerWallSec, c.SimNSPerWallSec, ratio, mark); err != nil {
+			return nil, err
+		}
+	}
+	if prev.Parallel != nil && cur.Parallel != nil {
+		if _, err := fmt.Fprintf(w, "  %-24s %16.2f %16.2f %8s\n",
+			"parallel-speedup", prev.Parallel.Speedup, cur.Parallel.Speedup, "-"); err != nil {
+			return nil, err
+		}
+	}
+	if !gate {
+		if _, err := fmt.Fprintln(w, "  (quick report: regression gating disabled)"); err != nil {
+			return nil, err
+		}
+	}
+	return regs, nil
+}
+
+// benchFileName names a report after its date: BENCH_YYYYMMDD.json.
+func BenchFileName(date string) string {
+	return "BENCH_" + strings.ReplaceAll(date, "-", "") + ".json"
+}

@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func validReport(date string) *BenchReport {
+	return &BenchReport{
+		Schema: BenchSchema,
+		Date:   date,
+		Go:     "go1.22",
+		Cases: []BenchCase{
+			{Name: "streamcluster-vb", Runs: 3, WallSec: 1.5, SimNS: 45_000_000,
+				Events: 3_000_000, SimNSPerWallSec: 30_000_000, EventsPerSec: 2_000_000},
+			{Name: "memcached", Runs: 3, WallSec: 0.9, SimNS: 30_000_000,
+				Events: 1_500_000, SimNSPerWallSec: 33_333_333, EventsPerSec: 1_666_666},
+		},
+		Parallel: &BenchParallel{Jobs: 4, Runs: 8, SerialRunsPerSec: 2,
+			ParallelRunsPerSec: 6, Speedup: 3},
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := validReport("2026-08-06").Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]func(*BenchReport){
+		"wrong schema":  func(r *BenchReport) { r.Schema = "oversub-bench/v999" },
+		"bad date":      func(r *BenchReport) { r.Date = "08/06/2026" },
+		"no cases":      func(r *BenchReport) { r.Cases = nil },
+		"empty name":    func(r *BenchReport) { r.Cases[0].Name = "" },
+		"dup name":      func(r *BenchReport) { r.Cases[1].Name = r.Cases[0].Name },
+		"zero runs":     func(r *BenchReport) { r.Cases[0].Runs = 0 },
+		"negative wall": func(r *BenchReport) { r.Cases[0].WallSec = -1 },
+		"bad parallel":  func(r *BenchReport) { r.Parallel.Jobs = 0 },
+	}
+	for name, mutate := range cases {
+		r := validReport("2026-08-06")
+		mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed report", name)
+		}
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, BenchFileName("2026-08-06"))
+	want := validReport("2026-08-06")
+	if err := WriteBench(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Date != want.Date || len(got.Cases) != len(want.Cases) ||
+		got.Cases[0].SimNSPerWallSec != want.Cases[0].SimNSPerWallSec {
+		t.Errorf("round trip mismatch: got %+v", got)
+	}
+	if got.Parallel == nil || got.Parallel.Speedup != 3 {
+		t.Errorf("parallel cell lost in round trip: %+v", got.Parallel)
+	}
+}
+
+func TestWriteBenchRejectsInvalid(t *testing.T) {
+	r := validReport("2026-08-06")
+	r.Schema = "nope"
+	if err := WriteBench(filepath.Join(t.TempDir(), "BENCH_x.json"), r); err == nil {
+		t.Fatal("WriteBench accepted an invalid report")
+	}
+}
+
+func TestLatestBench(t *testing.T) {
+	dir := t.TempDir()
+	if err := WriteBench(filepath.Join(dir, BenchFileName("2026-08-01")), validReport("2026-08-01")); err != nil {
+		t.Fatal(err)
+	}
+	newest := filepath.Join(dir, BenchFileName("2026-08-06"))
+	if err := WriteBench(newest, validReport("2026-08-06")); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt report later in lexical order must be skipped, not chosen.
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_20260807.json"), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	path, r, err := LatestBench(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != newest || r == nil || r.Date != "2026-08-06" {
+		t.Errorf("latest = %s (%v), want %s", path, r, newest)
+	}
+	// Excluding the newest falls back to the previous report.
+	path, r, err = LatestBench(dir, newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil || r.Date != "2026-08-01" {
+		t.Errorf("latest excluding newest = %s (%v), want the 08-01 report", path, r)
+	}
+	// An empty directory yields no baseline and no error.
+	path, r, err = LatestBench(t.TempDir(), "")
+	if err != nil || path != "" || r != nil {
+		t.Errorf("empty dir: got %s/%v/%v, want no baseline", path, r, err)
+	}
+}
+
+func TestCompareBenchFlagsRegressions(t *testing.T) {
+	prev := validReport("2026-08-01")
+	cur := validReport("2026-08-06")
+	cur.Cases[0].SimNSPerWallSec = prev.Cases[0].SimNSPerWallSec * 0.5 // 50% slower
+	cur.Cases[1].SimNSPerWallSec = prev.Cases[1].SimNSPerWallSec * 0.9 // within threshold
+
+	var buf bytes.Buffer
+	regs, err := CompareBench(&buf, prev, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Case != "streamcluster-vb" {
+		t.Fatalf("regressions = %+v, want exactly streamcluster-vb", regs)
+	}
+	if regs[0].Ratio != 0.5 {
+		t.Errorf("ratio = %v, want 0.5", regs[0].Ratio)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("report does not mark the regression:\n%s", buf.String())
+	}
+}
+
+func TestCompareBenchQuickDisablesGating(t *testing.T) {
+	prev := validReport("2026-08-01")
+	cur := validReport("2026-08-06")
+	cur.Quick = true
+	cur.Cases[0].SimNSPerWallSec = 1 // catastrophically slower, but quick
+	var buf bytes.Buffer
+	regs, err := CompareBench(&buf, prev, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("quick comparison flagged regressions: %+v", regs)
+	}
+	if !strings.Contains(buf.String(), "quick report") {
+		t.Errorf("quick comparison does not say gating is disabled:\n%s", buf.String())
+	}
+}
+
+func TestCompareBenchNewCase(t *testing.T) {
+	prev := validReport("2026-08-01")
+	prev.Cases = prev.Cases[:1]
+	cur := validReport("2026-08-06")
+	var buf bytes.Buffer
+	regs, err := CompareBench(&buf, prev, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("a case new in cur must not count as a regression: %+v", regs)
+	}
+	if !strings.Contains(buf.String(), "new") {
+		t.Errorf("report does not mark the new case:\n%s", buf.String())
+	}
+}
+
+func TestBenchFileName(t *testing.T) {
+	if got := BenchFileName("2026-08-06"); got != "BENCH_20260806.json" {
+		t.Errorf("BenchFileName = %q", got)
+	}
+}

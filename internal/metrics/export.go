@@ -1,0 +1,247 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"oversub/internal/sim"
+)
+
+// SeriesSchema versions the JSON export envelope.
+const SeriesSchema = "oversub-metrics/v1"
+
+// jsonEnvelope is the WriteJSON document: a schema tag, the base
+// sampling interval, and the sample array.
+type jsonEnvelope struct {
+	Schema     string       `json:"schema"`
+	IntervalNS sim.Duration `json:"interval_ns"`
+	Samples    []Sample     `json:"samples"`
+}
+
+// WriteJSON exports the series as a schema'd JSON document. Field order
+// and float formatting come from encoding/json over fixed struct shapes,
+// so identical runs export identical bytes.
+func (s *Sampler) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonEnvelope{
+		Schema:     SeriesSchema,
+		IntervalNS: s.interval,
+		Samples:    s.Samples(),
+	})
+}
+
+// WriteCSV exports the series as CSV: one row per window, aggregate
+// columns first, then per-CPU runqueue depths and utilizations. Floats
+// print with fixed precision so output is byte-stable.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	samples := s.Samples()
+	ncpu := 0
+	if len(samples) > 0 {
+		ncpu = len(samples[0].PerCPUQueue)
+	}
+	var b strings.Builder
+	b.WriteString("at_ns,window_ns,runnable,running_cpus,vblocked,skip_pending,spin_cpus,util_pct," +
+		"wakeups,vbwakes,migrations,bwd_deschedules,vol_cs,invol_cs,futex_waits,futex_wakes," +
+		"l1d_misses,dtlb_misses")
+	for i := 0; i < ncpu; i++ {
+		fmt.Fprintf(&b, ",rq_cpu%d", i)
+	}
+	for i := 0; i < ncpu; i++ {
+		fmt.Fprintf(&b, ",util_cpu%d", i)
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, sm := range samples {
+		var r strings.Builder
+		fmt.Fprintf(&r, "%d,%d,%d,%d,%d,%d,%d,%.3f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d",
+			int64(sm.At), int64(sm.Window), sm.Runnable, sm.RunningCPUs,
+			sm.VBlocked, sm.SkipPending, sm.SpinCPUs, sm.UtilPct,
+			sm.Wakeups, sm.VBWakes, sm.Migrations, sm.BWDDeschedules,
+			sm.VolCS, sm.InvolCS, sm.FutexWaits, sm.FutexWakes,
+			sm.L1DMisses, sm.DTLBMisses)
+		for i := 0; i < ncpu; i++ {
+			v := 0
+			if i < len(sm.PerCPUQueue) {
+				v = sm.PerCPUQueue[i]
+			}
+			fmt.Fprintf(&r, ",%d", v)
+		}
+		for i := 0; i < ncpu; i++ {
+			v := 0.0
+			if i < len(sm.PerCPUUtil) {
+				v = sm.PerCPUUtil[i]
+			}
+			fmt.Fprintf(&r, ",%.3f", v)
+		}
+		r.WriteByte('\n')
+		if _, err := io.WriteString(w, r.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// summarySeries is one row of the summary rendering: a name, a unit, and
+// the per-window value (rates are normalized per millisecond of sim time
+// so downsampled windows stay comparable).
+type summarySeries struct {
+	name string
+	unit string
+	at   func(Sample) float64
+}
+
+// perMS returns a delta field as a rate per sim-millisecond of window.
+func perMS(get func(Sample) uint64) func(Sample) float64 {
+	return func(sm Sample) float64 {
+		ms := sm.Window.Millis()
+		if ms <= 0 {
+			return 0
+		}
+		return float64(get(sm)) / ms
+	}
+}
+
+// summaryOrder is the fixed rendering order: an ordered slice, never a
+// map, so summaries are byte-identical across runs.
+var summaryOrder = []summarySeries{
+	{"runnable", "threads", func(sm Sample) float64 { return float64(sm.Runnable) }},
+	{"running-cpus", "cpus", func(sm Sample) float64 { return float64(sm.RunningCPUs) }},
+	{"util", "pct", func(sm Sample) float64 { return sm.UtilPct }},
+	{"vblocked", "threads", func(sm Sample) float64 { return float64(sm.VBlocked) }},
+	{"skip-pending", "threads", func(sm Sample) float64 { return float64(sm.SkipPending) }},
+	{"spin-cpus", "cpus", func(sm Sample) float64 { return float64(sm.SpinCPUs) }},
+	{"wakeups", "/ms", perMS(func(sm Sample) uint64 { return sm.Wakeups })},
+	{"vbwakes", "/ms", perMS(func(sm Sample) uint64 { return sm.VBWakes })},
+	{"migrations", "/ms", perMS(func(sm Sample) uint64 { return sm.Migrations })},
+	{"bwd-deschedules", "/ms", perMS(func(sm Sample) uint64 { return sm.BWDDeschedules })},
+	{"vol-cs", "/ms", perMS(func(sm Sample) uint64 { return sm.VolCS })},
+	{"invol-cs", "/ms", perMS(func(sm Sample) uint64 { return sm.InvolCS })},
+	{"futex-waits", "/ms", perMS(func(sm Sample) uint64 { return sm.FutexWaits })},
+	{"futex-wakes", "/ms", perMS(func(sm Sample) uint64 { return sm.FutexWakes })},
+	{"l1d-misses", "/ms", perMS(func(sm Sample) uint64 { return sm.L1DMisses })},
+	{"dtlb-misses", "/ms", perMS(func(sm Sample) uint64 { return sm.DTLBMisses })},
+}
+
+// sparkWidth is the sparkline column budget of the summary rendering.
+const sparkWidth = 48
+
+// WriteSummary renders a human-readable table: one row per series with
+// sample count, min/mean/max, and an ASCII sparkline of the (bucketed)
+// trajectory. Output is deterministic — ci.sh byte-compares it across
+// identical-seed runs.
+func (s *Sampler) WriteSummary(w io.Writer) error {
+	samples := s.Samples()
+	if len(samples) == 0 {
+		_, err := fmt.Fprintf(w, "metrics: no samples (interval %v)\n", s.interval)
+		return err
+	}
+	span := samples[len(samples)-1].At
+	if _, err := fmt.Fprintf(w, "metrics: %d samples over %v (base interval %v)\n\n",
+		len(samples), span, s.interval); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-16s %8s %10s %10s %10s  %s\n",
+		"series", "unit", "min", "mean", "max", "trajectory"); err != nil {
+		return err
+	}
+	for _, ss := range summaryOrder {
+		vals := make([]float64, len(samples))
+		// The mean weights each window by its length so downsampled tails
+		// do not skew it.
+		var sum, wsum float64
+		min, max := 0.0, 0.0
+		for i, sm := range samples {
+			v := ss.at(sm)
+			vals[i] = v
+			wlen := float64(sm.Window)
+			sum += v * wlen
+			wsum += wlen
+			if i == 0 || v < min {
+				min = v
+			}
+			if i == 0 || v > max {
+				max = v
+			}
+		}
+		mean := 0.0
+		if wsum > 0 {
+			mean = sum / wsum
+		}
+		if _, err := fmt.Fprintf(w, "%-16s %8s %10.2f %10.2f %10.2f  %s\n",
+			ss.name, ss.unit, min, mean, max, sparkline(vals, sparkWidth)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sparkRunes are the eight quantization levels of a sparkline cell.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values as a width-cell ASCII trajectory, bucketing by
+// mean when the series is longer than the width. All-flat series render
+// as the lowest level.
+func sparkline(values []float64, width int) string {
+	if len(values) == 0 || width <= 0 {
+		return ""
+	}
+	if len(values) < width {
+		width = len(values)
+	}
+	buckets := make([]float64, width)
+	for b := 0; b < width; b++ {
+		lo := b * len(values) / width
+		hi := (b + 1) * len(values) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum := 0.0
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		buckets[b] = sum / float64(hi-lo)
+	}
+	min, max := buckets[0], buckets[0]
+	for _, v := range buckets[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range buckets {
+		level := 0
+		if max > min {
+			level = int((v - min) / (max - min) * float64(len(sparkRunes)-1))
+			if level < 0 {
+				level = 0
+			}
+			if level >= len(sparkRunes) {
+				level = len(sparkRunes) - 1
+			}
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}
+
+// Write exports the series to w in the named format: "csv", "json", or
+// "summary".
+func (s *Sampler) Write(w io.Writer, format string) error {
+	switch format {
+	case "csv":
+		return s.WriteCSV(w)
+	case "json":
+		return s.WriteJSON(w)
+	case "summary":
+		return s.WriteSummary(w)
+	}
+	return fmt.Errorf("metrics: unknown format %q (want csv, json, or summary)", format)
+}

@@ -1,0 +1,236 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oversub/internal/hw"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+	"oversub/internal/workload"
+)
+
+// testKernel builds a small machine: one socket, ncpu cores, no SMT.
+func testKernel(t *testing.T, ncpu int) (*sim.Engine, *sched.Kernel) {
+	t.Helper()
+	eng := sim.NewEngine(12345)
+	k := sched.New(eng, sched.Config{
+		Topo:  hw.Topology{Sockets: 1, CoresPerSocket: ncpu, ThreadsPerCore: 1},
+		NCPUs: ncpu,
+		Costs: sched.DefaultCosts(),
+		Seed:  777,
+	})
+	return eng, k
+}
+
+func TestIntervalLongerThanRun(t *testing.T) {
+	// A run shorter than one sampling interval has zero interior ticks;
+	// the kernel's final flush must still deliver exactly one sample
+	// covering the whole span.
+	eng, k := testKernel(t, 2)
+	s := NewSampler(Config{Interval: 10 * sim.Millisecond})
+	k.SetSampler(s)
+	k.Spawn("w", func(th *sched.Thread) { th.Run(1 * sim.Millisecond) })
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	samples := s.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want exactly 1 (the final flush)", len(samples))
+	}
+	end := eng.Now()
+	if samples[0].At != end {
+		t.Errorf("sample At = %v, want run end %v", samples[0].At, end)
+	}
+	if samples[0].Window != sim.Duration(end) {
+		t.Errorf("sample Window = %v, want full span %v", samples[0].Window, sim.Duration(end))
+	}
+	if samples[0].UtilPct <= 0 {
+		t.Errorf("UtilPct = %v, want > 0 for a busy run", samples[0].UtilPct)
+	}
+}
+
+func TestRunEndingOnWindowBoundary(t *testing.T) {
+	// A horizon-bounded run ending exactly on a tick produces the tick
+	// sample and then a final flush at the same instant; the duplicate
+	// must be dropped, never recorded as a zero-width window.
+	_, k := testKernel(t, 1)
+	s := NewSampler(Config{Interval: 100 * sim.Microsecond})
+	k.SetSampler(s)
+	k.Spawn("spin", func(th *sched.Thread) {
+		for {
+			th.Run(1 * sim.Millisecond)
+		}
+	})
+	// 1 ms horizon = exactly 10 intervals; the thread never exits, so
+	// RunToCompletion reports live threads — expected here.
+	if err := k.RunToCompletion(sim.Time(1 * sim.Millisecond)); err == nil {
+		t.Fatal("expected a live-threads error from the horizon-bounded run")
+	}
+	samples := s.Samples()
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10 (one per interval, flush deduped)", len(samples))
+	}
+	seen := make(map[sim.Time]bool)
+	for _, sm := range samples {
+		if sm.Window <= 0 {
+			t.Errorf("sample at %v has non-positive window %v", sm.At, sm.Window)
+		}
+		if seen[sm.At] {
+			t.Errorf("duplicate sample timestamp %v", sm.At)
+		}
+		seen[sm.At] = true
+	}
+	if last := samples[len(samples)-1].At; last != sim.Time(1*sim.Millisecond) {
+		t.Errorf("last sample at %v, want exactly 1ms", last)
+	}
+}
+
+func TestDownsamplingBoundsAndTiling(t *testing.T) {
+	// With a tiny capacity a long run must stay bounded, and the merged
+	// windows must still tile the observed span exactly.
+	eng, k := testKernel(t, 1)
+	const capacity = 4
+	s := NewSampler(Config{Interval: 100 * sim.Microsecond, Capacity: capacity})
+	k.SetSampler(s)
+	k.Spawn("w", func(th *sched.Thread) { th.Run(5 * sim.Millisecond) })
+	if err := k.RunToCompletion(0); err != nil {
+		t.Fatal(err)
+	}
+	samples := s.Samples()
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	if len(samples) > capacity+1 {
+		t.Fatalf("got %d samples, want <= capacity+1 = %d", len(samples), capacity+1)
+	}
+	var at sim.Time
+	for i, sm := range samples {
+		if sm.At.Sub(at) != sm.Window {
+			t.Errorf("sample %d: window %v does not tile from %v to %v", i, sm.Window, at, sm.At)
+		}
+		at = sm.At
+	}
+	if at != eng.Now() {
+		t.Errorf("series ends at %v, want run end %v", at, eng.Now())
+	}
+}
+
+// sampleWorkload runs the representative workload with a fresh sampler and
+// returns it.
+func sampleWorkload(t *testing.T, cfg Config) *Sampler {
+	t.Helper()
+	spec := workload.Find("streamcluster")
+	if spec == nil {
+		t.Fatal("streamcluster missing from the suite")
+	}
+	s := NewSampler(cfg)
+	r := workload.Run(spec, workload.RunConfig{
+		Threads: 16, Cores: 4, Seed: 1, WorkScale: 0.02,
+		Feat:    sched.Features{VB: true},
+		Sampler: s,
+	})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	return s
+}
+
+func TestIdenticalSeedsExportIdenticalBytes(t *testing.T) {
+	// Two identical-seed runs must export byte-identical series in every
+	// format — including under downsampling (small capacity forces it).
+	for _, cfg := range []Config{{}, {Capacity: 8}} {
+		a := sampleWorkload(t, cfg)
+		b := sampleWorkload(t, cfg)
+		for _, format := range []string{"csv", "json", "summary"} {
+			var wa, wb bytes.Buffer
+			if err := a.Write(&wa, format); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Write(&wb, format); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(wa.Bytes(), wb.Bytes()) {
+				t.Errorf("capacity=%d format=%s: identical seeds produced different bytes",
+					cfg.Capacity, format)
+			}
+			if wa.Len() == 0 {
+				t.Errorf("capacity=%d format=%s: empty export", cfg.Capacity, format)
+			}
+		}
+	}
+}
+
+func TestSummaryRendering(t *testing.T) {
+	s := sampleWorkload(t, Config{})
+	var buf bytes.Buffer
+	if err := s.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"metrics:", "runnable", "util", "futex-waits", "trajectory"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteUnknownFormat(t *testing.T) {
+	s := NewSampler(Config{})
+	if err := s.Write(&bytes.Buffer{}, "xml"); err == nil {
+		t.Fatal("expected an error for an unknown format")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := sparkline(nil, 10); got != "" {
+		t.Errorf("empty series rendered %q, want empty", got)
+	}
+	if got := sparkline([]float64{5, 5, 5}, 10); got != "▁▁▁" {
+		t.Errorf("flat series rendered %q, want lowest level", got)
+	}
+	got := sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp rendered %q, want full ladder", got)
+	}
+	if got := sparkline(make([]float64, 100), 48); len([]rune(got)) != 48 {
+		t.Errorf("long series rendered %d cells, want 48", len([]rune(got)))
+	}
+}
+
+func TestMergeSamplesSumsDeltasAndWeightsUtil(t *testing.T) {
+	a := Sample{At: 100, Window: 100, UtilPct: 100, Wakeups: 3, PerCPUUtil: []float64{100}}
+	b := Sample{At: 200, Window: 100, UtilPct: 50, Wakeups: 5, Runnable: 7, PerCPUUtil: []float64{50}}
+	m := mergeSamples(a, b)
+	if m.At != 200 || m.Window != 200 {
+		t.Errorf("merged At/Window = %v/%v, want 200/200", m.At, m.Window)
+	}
+	if m.Wakeups != 8 {
+		t.Errorf("merged Wakeups = %d, want 8", m.Wakeups)
+	}
+	if m.Runnable != 7 {
+		t.Errorf("merged Runnable = %d, want later gauge 7", m.Runnable)
+	}
+	if m.UtilPct != 75 {
+		t.Errorf("merged UtilPct = %v, want window-weighted 75", m.UtilPct)
+	}
+	if len(m.PerCPUUtil) != 1 || m.PerCPUUtil[0] != 75 {
+		t.Errorf("merged PerCPUUtil = %v, want [75]", m.PerCPUUtil)
+	}
+}
+
+func TestCounterDeltaSaturatesOnClear(t *testing.T) {
+	prev := uint64(10)
+	if d := counterDelta(25, &prev); d != 15 {
+		t.Errorf("delta = %d, want 15", d)
+	}
+	// The counter was cleared (detector behaviour) and recounted to 4:
+	// the delta saturates at the current reading instead of wrapping.
+	if d := counterDelta(4, &prev); d != 4 {
+		t.Errorf("delta after clear = %d, want 4", d)
+	}
+	if prev != 4 {
+		t.Errorf("baseline = %d, want 4", prev)
+	}
+}

@@ -57,6 +57,9 @@ func (r *Reporter) loop() {
 func heartbeat(s Stats, warnAfter time.Duration) string {
 	line := fmt.Sprintf("runner: %d done, %d running, %d queued",
 		s.Done, s.Running, s.Queued)
+	if s.SimNS > 0 && s.Uptime > 0 {
+		line += fmt.Sprintf("; sim %.1f ms/s", float64(s.SimNS)/1e6/s.Uptime.Seconds())
+	}
 	if s.Slowest != "" {
 		line += fmt.Sprintf("; slowest %s %.1fs", s.Slowest, s.SlowestFor.Seconds())
 		if s.SlowestFor >= warnAfter {

@@ -133,6 +133,9 @@ type Pool struct {
 	running map[*task]struct{}
 	queued  int
 	done    int
+
+	started time.Time
+	simNS   atomic.Int64
 }
 
 // New builds a pool sized for n concurrent executors (n <= 0 means
@@ -146,6 +149,7 @@ func New(n int) *Pool {
 		nworkers: n,
 		deques:   make([][]*task, n),
 		running:  make(map[*task]struct{}),
+		started:  time.Now(), //simlint:allow walltime -- heartbeat throughput baseline, never a simulation input
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.wg.Add(n - 1)
@@ -157,6 +161,16 @@ func New(n int) *Pool {
 
 // Workers returns the pool's concurrency (background workers + caller).
 func (p *Pool) Workers() int { return p.nworkers }
+
+// ReportSim adds ns simulated nanoseconds to the pool's cumulative
+// throughput counter; the Reporter heartbeat divides it by pool uptime.
+// Job bodies call it with their run's simulated span once the run
+// completes (cache hits do not report: no simulation happened).
+func (p *Pool) ReportSim(ns int64) {
+	if ns > 0 {
+		p.simNS.Add(ns)
+	}
+}
 
 // Close stops the workers once their queues drain. Jobs already submitted
 // still complete; submitting after Close panics.
@@ -367,14 +381,20 @@ type Stats struct {
 	// SlowestFor is how long it has been running.
 	Slowest    string
 	SlowestFor time.Duration
+	// SimNS is cumulative simulated nanoseconds completed (ReportSim) and
+	// Uptime the host time since the pool started; their ratio is the
+	// fleet's simulation throughput.
+	SimNS  int64
+	Uptime time.Duration
 }
 
 // Stats snapshots the pool's current activity.
 func (p *Pool) Stats() Stats {
 	p.statsMu.Lock()
 	defer p.statsMu.Unlock()
-	s := Stats{Queued: p.queued, Running: len(p.running), Done: p.done}
+	s := Stats{Queued: p.queued, Running: len(p.running), Done: p.done, SimNS: p.simNS.Load()}
 	now := time.Now() //simlint:allow walltime -- heartbeat watchdog measures host time, not simulation state
+	s.Uptime = now.Sub(p.started)
 	for t := range p.running {
 		if d := now.Sub(t.started); d > s.SlowestFor {
 			s.SlowestFor = d

@@ -1,0 +1,35 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestReportSimAccumulates(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	p.ReportSim(1_500_000)
+	p.ReportSim(500_000)
+	p.ReportSim(-7) // non-positive spans are ignored
+	s := p.Stats()
+	if s.SimNS != 2_000_000 {
+		t.Errorf("SimNS = %d, want 2000000", s.SimNS)
+	}
+	if s.Uptime <= 0 {
+		t.Errorf("Uptime = %v, want > 0", s.Uptime)
+	}
+}
+
+func TestHeartbeatIncludesSimThroughput(t *testing.T) {
+	s := Stats{Done: 3, Running: 1, Queued: 2, SimNS: 500_000_000, Uptime: time.Second}
+	line := heartbeat(s, time.Minute)
+	if !strings.Contains(line, "sim 500.0 ms/s") {
+		t.Errorf("heartbeat %q missing sim throughput", line)
+	}
+	// Without any reported simulation the line stays as before.
+	s.SimNS = 0
+	if line := heartbeat(s, time.Minute); strings.Contains(line, "sim ") {
+		t.Errorf("heartbeat %q reports throughput with no sim completed", line)
+	}
+}

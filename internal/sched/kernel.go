@@ -137,6 +137,9 @@ type Kernel struct {
 
 	tracer Tracer
 
+	sampler   Sampler
+	samplerEv *sim.Event
+
 	// Metrics accumulates counters over the run.
 	Metrics Metrics
 }
@@ -149,6 +152,54 @@ type Tracer interface {
 
 // SetTracer installs (or, with nil, removes) the kernel's event tracer.
 func (k *Kernel) SetTracer(tr Tracer) { k.tracer = tr }
+
+// Sampler receives periodic whole-kernel state snapshots at a fixed
+// sim-time interval; see internal/metrics for the time-series
+// implementation. The hook is observation-only: a Sample implementation
+// must not mutate simulation state, consume the kernel's or engine's
+// random source, or schedule events — sampling then leaves the run's
+// outcome untouched, unlike the BWD detector whose window syncs perturb
+// segment accounting.
+type Sampler interface {
+	// SampleInterval returns the sim-time spacing of snapshots. It is read
+	// before each re-arm, so an implementation may lengthen its interval
+	// mid-run (e.g. after downsampling). Non-positive intervals fall back
+	// to 100 microseconds, the BWD hrtimer period.
+	SampleInterval() sim.Duration
+	// Sample observes the kernel at virtual time at. The final call of a
+	// run (flushed by RunToCompletion) may repeat the last tick's
+	// timestamp when the run ends exactly on a window boundary;
+	// implementations dedupe by time.
+	Sample(k *Kernel, at sim.Time)
+}
+
+// SetSampler installs (or, with nil, removes) the kernel's periodic state
+// sampler and arms its sim-time tick.
+func (k *Kernel) SetSampler(s Sampler) {
+	if k.samplerEv != nil {
+		k.samplerEv.Cancel()
+		k.samplerEv = nil
+	}
+	k.sampler = s
+	if s != nil {
+		k.armSample()
+	}
+}
+
+// armSample schedules the next sampler tick.
+func (k *Kernel) armSample() {
+	iv := k.sampler.SampleInterval()
+	if iv <= 0 {
+		iv = 100 * sim.Microsecond
+	}
+	k.samplerEv = k.eng.After(iv, func() {
+		if k.sampler == nil {
+			return
+		}
+		k.sampler.Sample(k, k.eng.Now())
+		k.armSample()
+	})
+}
 
 // trace emits one event if a tracer is installed.
 func (k *Kernel) trace(cpu int, t *Thread, kind string, arg int64) {
@@ -244,6 +295,54 @@ func (k *Kernel) Live() int { return k.live }
 
 // Rand returns the kernel's random source (distinct from the engine's).
 func (k *Kernel) Rand() *sim.Rand { return k.rng }
+
+// NumCPUs returns the number of logical CPUs the machine physically has
+// (the snapshot width for samplers; AllowedCPUs returns the enabled set).
+func (k *Kernel) NumCPUs() int { return len(k.cpus) }
+
+// CPUSample is a point-in-time snapshot of one CPU's scheduler state, the
+// per-CPU read surface of the Sampler hook.
+type CPUSample struct {
+	// Enabled reports whether the CPU is in the current cpuset.
+	Enabled bool
+	// Running reports whether a thread is current on the CPU.
+	Running bool
+	// Queued is the runqueue length, excluding the current thread.
+	Queued int
+	// Runnable is Queued plus the current thread — the load signal VB is
+	// designed to keep stable.
+	Runnable int
+	// VBlocked is how many queued threads are virtually blocked.
+	VBlocked int
+	// SkipPending is how many queued threads still carry an armed BWD
+	// skip flag (descheduled spinners waiting out their peers).
+	SkipPending int
+	// Busy is the CPU's cumulative busy time through now.
+	Busy sim.Duration
+}
+
+// SampleCPU snapshots CPU id. It reads committed scheduler state only and
+// never perturbs the run.
+func (k *Kernel) SampleCPU(id int) CPUSample {
+	c := k.cpus[id]
+	s := CPUSample{
+		Enabled:  c.enabled,
+		Running:  c.curr != nil,
+		Queued:   c.tree.Len(),
+		Runnable: c.runnable(),
+		VBlocked: c.nrBlocked,
+		Busy:     c.busy,
+	}
+	if c.isBusy {
+		s.Busy += k.eng.Now().Sub(c.busyMark)
+	}
+	for n := c.tree.Min(); n != nil; n = c.tree.Next(n) {
+		if n.Value.skipUntil > c.dispatchSeq {
+			s.SkipPending++
+		}
+	}
+	return s
+}
 
 // TotalBusy sums the busy time of all CPUs up to now.
 func (k *Kernel) TotalBusy() sim.Duration {
@@ -1068,6 +1167,12 @@ func (k *Kernel) RunToCompletion(horizon sim.Time) error {
 		return nil
 	}
 	k.eng.Run(horizon)
+	if k.sampler != nil {
+		// Flush the final (possibly partial) sampling window so short runs
+		// — even shorter than one interval — still record their end state.
+		// Samplers dedupe runs that end exactly on a tick.
+		k.sampler.Sample(k, k.eng.Now())
+	}
 	if k.live > 0 {
 		return fmt.Errorf("sched: %d threads still alive at %v", k.live, k.eng.Now())
 	}

@@ -1,0 +1,114 @@
+package sched
+
+import (
+	"testing"
+
+	"oversub/internal/sim"
+)
+
+// recordingSampler captures the tick times the kernel delivers.
+type recordingSampler struct {
+	interval sim.Duration
+	ticks    []sim.Time
+}
+
+func (r *recordingSampler) SampleInterval() sim.Duration { return r.interval }
+func (r *recordingSampler) Sample(k *Kernel, at sim.Time) {
+	r.ticks = append(r.ticks, at)
+}
+
+func TestSamplerTickCadence(t *testing.T) {
+	_, k := testKernel(t, 1, Features{})
+	rs := &recordingSampler{interval: 100 * sim.Microsecond}
+	k.SetSampler(rs)
+	k.Spawn("w", func(th *Thread) { th.Run(1 * sim.Millisecond) })
+	mustComplete(t, k, 0)
+	if len(rs.ticks) < 10 {
+		t.Fatalf("got %d ticks over a >=1ms run, want >= 10", len(rs.ticks))
+	}
+	// Interior ticks land exactly on the interval grid.
+	for i, at := range rs.ticks[:len(rs.ticks)-1] {
+		want := sim.Time((i + 1) * 100 * int(sim.Microsecond))
+		if at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	// The last delivery is the final flush at run end.
+	if last := rs.ticks[len(rs.ticks)-1]; last != k.Now() {
+		t.Errorf("final flush at %v, want run end %v", last, k.Now())
+	}
+}
+
+func TestSamplerZeroIntervalDefaults(t *testing.T) {
+	_, k := testKernel(t, 1, Features{})
+	rs := &recordingSampler{interval: 0} // kernel substitutes the 100us default
+	k.SetSampler(rs)
+	k.Spawn("w", func(th *Thread) { th.Run(500 * sim.Microsecond) })
+	mustComplete(t, k, 0)
+	if len(rs.ticks) < 5 {
+		t.Errorf("got %d ticks, want >= 5 at the default 100us interval", len(rs.ticks))
+	}
+}
+
+func TestSetSamplerNilStopsSampling(t *testing.T) {
+	_, k := testKernel(t, 1, Features{})
+	rs := &recordingSampler{interval: 100 * sim.Microsecond}
+	k.SetSampler(rs)
+	k.SetSampler(nil)
+	k.Spawn("w", func(th *Thread) { th.Run(1 * sim.Millisecond) })
+	mustComplete(t, k, 0)
+	if len(rs.ticks) != 0 {
+		t.Errorf("detached sampler received %d ticks, want 0", len(rs.ticks))
+	}
+}
+
+func TestSamplerDoesNotPerturbResults(t *testing.T) {
+	// The sampler hook is observation-only: a sampled run must finish at
+	// the same virtual time with the same counters as an unsampled one.
+	run := func(sample bool) (sim.Time, Metrics) {
+		_, k := testKernel(t, 2, Features{VB: true})
+		if sample {
+			k.SetSampler(&recordingSampler{interval: 100 * sim.Microsecond})
+		}
+		for i := 0; i < 4; i++ {
+			k.Spawn("w", func(th *Thread) {
+				for r := 0; r < 10; r++ {
+					th.Run(200 * sim.Microsecond)
+				}
+			})
+		}
+		mustComplete(t, k, 0)
+		return k.Now(), k.Metrics
+	}
+	endA, mA := run(false)
+	endB, mB := run(true)
+	if endA != endB {
+		t.Errorf("sampling changed the run: end %v (unsampled) vs %v (sampled)", endA, endB)
+	}
+	if mA != mB {
+		t.Errorf("sampling changed kernel metrics:\nunsampled %+v\nsampled   %+v", mA, mB)
+	}
+}
+
+func TestSampleCPUSnapshot(t *testing.T) {
+	_, k := testKernel(t, 2, Features{})
+	if n := k.NumCPUs(); n != 2 {
+		t.Fatalf("NumCPUs = %d, want 2", n)
+	}
+	var mid CPUSample
+	k.Spawn("w", func(th *Thread) {
+		th.Run(300 * sim.Microsecond)
+		mid = k.SampleCPU(th.CPU())
+		th.Run(100 * sim.Microsecond)
+	})
+	mustComplete(t, k, 0)
+	if !mid.Running {
+		t.Error("mid-run snapshot shows no running thread on the caller's CPU")
+	}
+	if mid.Runnable < 1 {
+		t.Errorf("mid-run Runnable = %d, want >= 1", mid.Runnable)
+	}
+	if mid.Busy <= 0 {
+		t.Errorf("mid-run Busy = %v, want > 0 (includes the open busy span)", mid.Busy)
+	}
+}

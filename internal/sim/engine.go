@@ -34,8 +34,9 @@ type Engine struct {
 	// iterates the live procs (draining, leak reports, debugging dumps)
 	// must observe them in a seed-stable order, never Go's randomized map
 	// order (simlint's maprange rule enforces the same invariant).
-	procs   []*Proc
-	stopped bool
+	procs    []*Proc
+	stopped  bool
+	executed uint64
 }
 
 // NewEngine returns an engine with the clock at zero and the given RNG seed.
@@ -48,6 +49,11 @@ func (e *Engine) Now() Time { return e.now }
 
 // Rand returns the engine's deterministic random source.
 func (e *Engine) Rand() *Rand { return e.rng }
+
+// Executed returns the number of events the engine has fired since
+// construction. It is a pure function of the run (the bench harness uses
+// it as the simulator's events/sec denominator), never a simulation input.
+func (e *Engine) Executed() uint64 { return e.executed }
 
 // At schedules fn to run at time t. Scheduling in the past panics: the
 // simulation would lose causality.
@@ -104,6 +110,7 @@ func (e *Engine) Run(until Time) Time {
 		}
 		e.now = ev.at
 		ev.fired = true
+		e.executed++
 		ev.fn()
 	}
 	return e.now
@@ -117,6 +124,7 @@ func (e *Engine) Step() bool {
 	}
 	e.now = ev.at
 	ev.fired = true
+	e.executed++
 	ev.fn()
 	return true
 }

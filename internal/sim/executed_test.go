@@ -1,0 +1,31 @@
+package sim
+
+import "testing"
+
+func TestExecutedCountsFiredEvents(t *testing.T) {
+	e := NewEngine(1)
+	if e.Executed() != 0 {
+		t.Fatalf("fresh engine Executed = %d, want 0", e.Executed())
+	}
+	for i := 0; i < 3; i++ {
+		e.After(Duration(i+1)*Microsecond, func() {})
+	}
+	cancelled := e.After(10*Microsecond, func() { t.Error("cancelled event fired") })
+	cancelled.Cancel()
+	e.Run(0)
+	if got := e.Executed(); got != 3 {
+		t.Errorf("Executed = %d, want 3 (cancelled events never count)", got)
+	}
+}
+
+func TestExecutedCountsStep(t *testing.T) {
+	e := NewEngine(1)
+	e.After(Microsecond, func() {})
+	e.After(2*Microsecond, func() {})
+	if !e.Step() {
+		t.Fatal("Step found no event")
+	}
+	if got := e.Executed(); got != 1 {
+		t.Errorf("Executed after one Step = %d, want 1", got)
+	}
+}

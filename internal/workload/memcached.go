@@ -27,6 +27,9 @@ type MemcachedConfig struct {
 	// Tracer, when non-nil, receives every scheduling event of the run.
 	// It is excluded from result-cache fingerprints (json:"-").
 	Tracer sched.Tracer `json:"-"`
+	// Sampler, when non-nil, snapshots scheduler state at its sim-time
+	// interval. Observation-only; excluded from cache fingerprints.
+	Sampler sched.Sampler `json:"-"`
 }
 
 // MemcachedResult reports the client-observed service metrics.
@@ -37,6 +40,10 @@ type MemcachedResult struct {
 	P99              sim.Duration
 	Served           int
 	Metrics          sched.Metrics
+	// ExecTime is the simulated span of the run and Events the engine's
+	// executed-event count (bench-harness denominators).
+	ExecTime sim.Duration
+	Events   uint64
 }
 
 // request is one in-flight client request.
@@ -78,6 +85,9 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 	k := newKernel(cfg.Cores, 1, sched.Features{VB: cfg.VB}, cfg.Seed)
 	if cfg.Tracer != nil {
 		k.SetTracer(cfg.Tracer)
+	}
+	if cfg.Sampler != nil {
+		k.SetSampler(cfg.Sampler)
 	}
 	eng := k.Engine()
 	tbl := futex.NewTable(k, 0)
@@ -179,11 +189,13 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 	elapsed := eng.Now().Sub(start)
 
 	res := MemcachedResult{
-		Served:  served,
-		Mean:    lat.Mean(),
-		P95:     lat.Percentile(95),
-		P99:     lat.Percentile(99),
-		Metrics: k.Metrics,
+		Served:   served,
+		Mean:     lat.Mean(),
+		P95:      lat.Percentile(95),
+		P99:      lat.Percentile(99),
+		Metrics:  k.Metrics,
+		ExecTime: elapsed,
+		Events:   eng.Executed(),
 	}
 	if elapsed > 0 {
 		res.ThroughputOpsSec = float64(served) / elapsed.Seconds()

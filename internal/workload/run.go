@@ -55,7 +55,13 @@ type RunConfig struct {
 	// Plan schedules cpuset resizes during the run.
 	Plan []CPUChange
 	// Tracer, when non-nil, receives every scheduling event of the run.
-	Tracer sched.Tracer
+	// It is excluded from result-cache fingerprints (json:"-"): tracing
+	// observes a run without changing it.
+	Tracer sched.Tracer `json:"-"`
+	// Sampler, when non-nil, is registered with the kernel and snapshots
+	// scheduler state at its sim-time interval (internal/metrics). Like
+	// Tracer it is observation-only and excluded from cache fingerprints.
+	Sampler sched.Sampler `json:"-"`
 	// LockImpl substitutes the user-level lock implementation, as the
 	// SHFLLOCK evaluation does via library interposition (Figure 15):
 	// "" or "pthread" (futex mutex), "mutexee", "mcstp", "shfllock".
@@ -79,6 +85,10 @@ type Result struct {
 	// SyncOps counts synchronization operations performed (lock
 	// acquisitions, barrier arrivals, spin handoffs).
 	SyncOps uint64
+	// Events is the number of simulation events the engine executed — a
+	// host-side cost measure (the bench harness's events/sec denominator),
+	// not a model output.
+	Events uint64
 	// Err is non-nil if the run did not complete before the horizon.
 	Err error
 }
@@ -131,6 +141,9 @@ func Run(spec *Spec, cfg RunConfig) Result {
 	if cfg.Tracer != nil {
 		k.SetTracer(cfg.Tracer)
 	}
+	if cfg.Sampler != nil {
+		k.SetSampler(cfg.Sampler)
+	}
 
 	var det *bwd.Detector
 	switch cfg.Detect {
@@ -178,6 +191,7 @@ func Run(spec *Spec, cfg RunConfig) Result {
 		ExecTime: end.Sub(start),
 		Metrics:  k.Metrics,
 		SyncOps:  r.syncOps,
+		Events:   eng.Executed(),
 		Err:      err,
 	}
 	if det != nil {

@@ -27,6 +27,9 @@ type WebConfig struct {
 	// BackendRTT is the mean backend service round trip.
 	BackendRTT sim.Duration
 	Seed       uint64
+	// Sampler, when non-nil, snapshots scheduler state at its sim-time
+	// interval. Observation-only; excluded from cache fingerprints.
+	Sampler sched.Sampler `json:"-"`
 }
 
 // WebResult reports client-observed service metrics.
@@ -66,6 +69,9 @@ func WebServing(cfg WebConfig) WebResult {
 	}
 
 	k := newKernel(cfg.Cores, 1, sched.Features{VB: cfg.VB}, cfg.Seed)
+	if cfg.Sampler != nil {
+		k.SetSampler(cfg.Sampler)
+	}
 	eng := k.Engine()
 
 	frontPolls := make([]*epoll.Poll, cfg.Workers)
