@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"os"
-	"path/filepath"
 	"runtime"
 	"time"
 
@@ -216,13 +215,16 @@ func runBench(o options, pool *runner.Pool, outDir string, threshold float64) er
 			"parallel", p.Jobs, p.SerialRunsPerSec, p.ParallelRunsPerSec, p.Speedup)
 	}
 
-	// Read the baseline before writing: a report from earlier today lives
-	// at the same path and is this run's natural predecessor.
+	// The latest existing report — including one from earlier today, which
+	// NextBenchPath leaves in place — is this run's natural predecessor.
 	prevPath, prev, err := metrics.LatestBench(outDir, "")
 	if err != nil {
 		return fmt.Errorf("hpdc21: bench: %w", err)
 	}
-	path := filepath.Join(outDir, metrics.BenchFileName(date))
+	path, err := metrics.NextBenchPath(outDir, date)
+	if err != nil {
+		return fmt.Errorf("hpdc21: bench: %w", err)
+	}
 	if err := metrics.WriteBench(path, report); err != nil {
 		return fmt.Errorf("hpdc21: bench: %w", err)
 	}

@@ -71,3 +71,55 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	t.Logf("golden digest %s (%d events)", d1, m1.VolCS+m1.InvolCS)
 }
+
+// engineTrioSummaries runs the three headline experiment families (direct
+// cost, figure-9 streamcluster, lu+BWD, memcached) at fixed seeds and
+// renders each result as a canonical summary string. The strings below in
+// TestGoldenEngineTrio were captured before the event-core fast path
+// (pooled events, rearmable timers, FIFO ring, 4-ary heap) landed; they
+// pin the refactor to the exact outputs of the original binary-heap
+// closure-per-event engine.
+func engineTrioSummaries() []string {
+	fig2a := DirectCost(1, false, 7)
+	fig2b := DirectCost(16, false, 7)
+	s1 := fmt.Sprintf("fig2 direct-cost t1 exec=%d sw=%d | t16 exec=%d sw=%d",
+		fig2a.ExecTime, fig2a.Switches, fig2b.ExecTime, fig2b.Switches)
+
+	spec := FindBenchmark("streamcluster")
+	van := RunBenchmark(spec, BenchConfig{Threads: 16, Cores: 4, Seed: 7, WorkScale: 0.05})
+	vb := RunBenchmark(spec, BenchConfig{Threads: 16, Cores: 4, Seed: 7, WorkScale: 0.05,
+		Feat: Features{VB: true}})
+	s2 := fmt.Sprintf("fig9 streamcluster vanilla exec=%d events=%d cs=%d/%d wake=%d | vb exec=%d events=%d cs=%d/%d vbwake=%d",
+		van.ExecTime, van.Events, van.Metrics.VolCS, van.Metrics.InvolCS, van.Metrics.Wakeups,
+		vb.ExecTime, vb.Events, vb.Metrics.VolCS, vb.Metrics.InvolCS, vb.Metrics.VBWakes)
+
+	lu := RunBenchmark(FindBenchmark("lu"), BenchConfig{Threads: 16, Cores: 4, Seed: 7,
+		WorkScale: 0.05, Detect: DetectBWD})
+	s3 := fmt.Sprintf("lu bwd exec=%d events=%d bwd=%d ple=%d spins=%d",
+		lu.ExecTime, lu.Events, lu.Metrics.BWDDeschedules, lu.Metrics.PLEExits, lu.BWD.Detections)
+
+	mc := RunMemcached(MemcachedConfig{Workers: 8, Cores: 4, VB: true, Requests: 2000, Seed: 7})
+	s4 := fmt.Sprintf("memcached served=%d mean=%d p95=%d p99=%d exec=%d events=%d futex=%d/%d epoll=%d/%d",
+		mc.Served, mc.Mean, mc.P95, mc.P99, mc.ExecTime, mc.Events,
+		mc.Metrics.FutexWaits, mc.Metrics.FutexWakes, mc.Metrics.EpollWaits, mc.Metrics.EpollPosts)
+	return []string{s1, s2, s3, s4}
+}
+
+// TestGoldenEngineTrio pins the fast-path event core to pre-refactor
+// outputs. A mismatch here means the engine changed simulation-visible
+// behavior — event ordering, rng draw sequence, or timer semantics — not
+// just its own internals, and must be treated as a correctness bug.
+func TestGoldenEngineTrio(t *testing.T) {
+	want := []string{
+		"fig2 direct-cost t1 exec=120049500 sw=160 | t16 exec=120552000 sw=320",
+		"fig9 streamcluster vanilla exec=19639353 events=47759 cs=4481/0 wake=4481 | vb exec=15133543 events=41769 cs=4492/0 vbwake=3283",
+		"lu bwd exec=57416886 events=10673 bwd=832 ple=0 spins=832",
+		"memcached served=2000 mean=122246 p95=395594 p99=613749 exec=4676161 events=21753 futex=269/269 epoll=2007/2007",
+	}
+	got := engineTrioSummaries()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("summary %d diverged from pre-refactor pin:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+}

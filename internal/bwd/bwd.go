@@ -71,6 +71,9 @@ type Detector struct {
 	cfg     Config
 	Stats   Stats
 	stopped bool
+	// timers holds one rearmable hrtimer per core, created on the first
+	// Start; every subsequent window reuses its core's timer and closure.
+	timers []*sim.Timer
 }
 
 // New builds a detector for kernel k. Call Start to arm it.
@@ -90,11 +93,17 @@ func (d *Detector) Start() {
 	d.stopped = false
 	eng := d.k.Engine()
 	n := d.k.Topology().NumCPUs()
+	if d.timers == nil {
+		d.timers = make([]*sim.Timer, n)
+		for cpu := 0; cpu < n; cpu++ {
+			cpu := cpu
+			d.timers[cpu] = eng.Timer(func() { d.tick(cpu) })
+		}
+	}
 	for cpu := 0; cpu < n; cpu++ {
-		cpu := cpu
 		stagger := sim.Duration(cpu) * 7 * sim.Microsecond
 		d.k.Core(cpu).ClearWindow()
-		eng.After(d.cfg.Interval+stagger, func() { d.tick(cpu) })
+		d.timers[cpu].Rearm(d.cfg.Interval + stagger)
 	}
 }
 
@@ -132,7 +141,7 @@ func (d *Detector) tick(cpu int) {
 		d.k.Preempt(cpu, d.cfg.Mode == ModeBWD && !d.cfg.NoSkip)
 	}
 	core.ClearWindow()
-	d.k.Engine().After(d.cfg.Interval, func() { d.tick(cpu) })
+	d.timers[cpu].Rearm(d.cfg.Interval)
 }
 
 // Precision returns the fraction of detections that were genuine spinning.

@@ -17,11 +17,15 @@ import (
 type Event any
 
 // Poll is one epoll instance: a queue of ready events and a FIFO of
-// blocked waiters.
+// blocked waiters. Both queues are head-indexed rings over a reusable
+// backing array: consuming pops advance the head instead of re-slicing,
+// so a steady produce/consume cycle allocates nothing.
 type Poll struct {
-	k       *sched.Kernel
-	ready   []Event
-	waiters []*waiter
+	k         *sched.Kernel
+	ready     []Event
+	readyHead int
+	waiters   []*waiter
+	waitHead  int
 }
 
 type waiter struct {
@@ -40,10 +44,10 @@ func New(k *sched.Kernel) *Poll {
 }
 
 // Ready returns the number of queued, undelivered events.
-func (p *Poll) Ready() int { return len(p.ready) }
+func (p *Poll) Ready() int { return len(p.ready) - p.readyHead }
 
 // WaitersCount returns the number of threads blocked in Wait.
-func (p *Poll) WaitersCount() int { return len(p.waiters) }
+func (p *Poll) WaitersCount() int { return len(p.waiters) - p.waitHead }
 
 // Wait blocks t until an event is available and returns it. If an event is
 // already queued it is consumed immediately, paying only the syscall entry.
@@ -51,7 +55,7 @@ func (p *Poll) Wait(t *sched.Thread) Event {
 	costs := p.k.Costs()
 	t.Run(costs.SyscallEntry)
 	p.k.Metrics.EpollWaits++
-	for len(p.ready) == 0 {
+	for p.Ready() == 0 {
 		w := &waiter{t: t, vb: p.k.Features().VB}
 		p.waiters = append(p.waiters, w)
 		if w.vb {
@@ -68,8 +72,13 @@ func (p *Poll) Wait(t *sched.Thread) Event {
 		// Woken: either an event is ready or we raced with another waiter
 		// that consumed it; loop and re-block in that case.
 	}
-	ev := p.ready[0]
-	p.ready = p.ready[1:]
+	ev := p.ready[p.readyHead]
+	p.ready[p.readyHead] = nil
+	p.readyHead++
+	if p.readyHead == len(p.ready) {
+		p.ready = p.ready[:0]
+		p.readyHead = 0
+	}
 	return ev
 }
 
@@ -102,11 +111,16 @@ func (p *Poll) PostFrom(waker *sched.Thread, ev Event) {
 }
 
 func (p *Poll) popWaiter() *waiter {
-	if len(p.waiters) == 0 {
+	if p.waitHead == len(p.waiters) {
 		return nil
 	}
-	w := p.waiters[0]
-	p.waiters = p.waiters[1:]
+	w := p.waiters[p.waitHead]
+	p.waiters[p.waitHead] = nil
+	p.waitHead++
+	if p.waitHead == len(p.waiters) {
+		p.waiters = p.waiters[:0]
+		p.waitHead = 0
+	}
 	w.woken = true
 	return w
 }

@@ -35,6 +35,11 @@ type Table struct {
 	k       *sched.Kernel
 	buckets []*bucket
 	nextID  uint64
+	// freeW pools waiter records: a Wait that has fully returned releases
+	// its record for the next Wait on any futex of this table. Stale
+	// references held by in-flight wakers are detected by generation
+	// counter (see wakeRef).
+	freeW []*waiter
 }
 
 type bucket struct {
@@ -57,6 +62,47 @@ type waiter struct {
 	// later sleep and leave a stale queue entry that swallows a real
 	// wakeup.
 	done bool
+	// expired is set by the WaitTimeout timer when the deadline fired
+	// before a wake arrived.
+	expired bool
+	// gen increments when the record is released to the pool, invalidating
+	// every wakeRef still pointing at it — the pooled generalization of the
+	// done flag.
+	gen uint32
+}
+
+// wakeRef is a popped waiter pinned to the generation it was popped at. A
+// waker that pays serialized per-waiter costs before delivering wakeups
+// holds these across simulated time; if the generation no longer matches,
+// the target consumed the wake, returned, and its record was recycled — the
+// deferred wakeup must be dropped exactly as with the done flag.
+type wakeRef struct {
+	w   *waiter
+	gen uint32
+}
+
+// stale reports whether the deferred wakeup for r must be dropped.
+func (r wakeRef) stale() bool { return r.w.gen != r.gen || r.w.done }
+
+// getWaiter takes a waiter record from the pool, or makes one.
+func (tbl *Table) getWaiter(t *sched.Thread, f *Futex, vb bool) *waiter {
+	if k := len(tbl.freeW) - 1; k >= 0 {
+		w := tbl.freeW[k]
+		tbl.freeW[k] = nil
+		tbl.freeW = tbl.freeW[:k]
+		w.t, w.f, w.vb = t, f, vb
+		w.woken, w.done, w.expired = false, false, false
+		return w
+	}
+	return &waiter{t: t, f: f, vb: vb}
+}
+
+// putWaiter releases a record whose Wait has returned. The caller must have
+// set done first; the generation bump retires outstanding wakeRefs.
+func (tbl *Table) putWaiter(w *waiter) {
+	w.gen++
+	w.t, w.f = nil, nil
+	tbl.freeW = append(tbl.freeW, w)
 }
 
 // Futex is one user-level synchronization word with kernel wait support.
@@ -135,7 +181,7 @@ func (f *Futex) Wait(t *sched.Thread, val uint64) bool {
 			panic("futex: thread already queued in this bucket (kernel invariant)")
 		}
 	}
-	w := &waiter{t: t, f: f, vb: f.useVB()}
+	w := f.tbl.getWaiter(t, f, f.useVB())
 	f.b.waiters = append(f.b.waiters, w)
 	f.b.lock.Unlock(t)
 	k.Metrics.FutexWaits++
@@ -152,6 +198,7 @@ func (f *Futex) Wait(t *sched.Thread, val uint64) bool {
 		}
 	}
 	w.done = true
+	f.tbl.putWaiter(w)
 	return true
 }
 
@@ -174,15 +221,15 @@ func (f *Futex) Wake(t *sched.Thread, n int) int {
 		f.maxBatch = len(popped)
 	}
 	f.b.lock.Unlock(t)
-	for _, w := range popped {
+	for _, r := range popped {
 		k.Metrics.FutexWakes++
-		if w.done {
+		if r.stale() {
 			continue // the target already consumed this wake and moved on
 		}
-		if w.vb {
-			k.VWake(t, w.t)
+		if r.w.vb {
+			k.VWake(t, r.w.t)
 		} else {
-			k.WakeVanilla(t, w.t)
+			k.WakeVanilla(t, r.w.t)
 		}
 	}
 	return len(popped)
@@ -240,15 +287,15 @@ func (f *Futex) Requeue(t *sched.Thread, nWake, nMove int, target *Futex, expect
 		target.b.lock.Unlock(t)
 	}
 	f.b.lock.Unlock(t)
-	for _, w := range popped {
+	for _, r := range popped {
 		k.Metrics.FutexWakes++
-		if w.done {
+		if r.stale() {
 			continue // the target already consumed this wake and moved on
 		}
-		if w.vb {
-			k.VWake(t, w.t)
+		if r.w.vb {
+			k.VWake(t, r.w.t)
 		} else {
-			k.WakeVanilla(t, w.t)
+			k.WakeVanilla(t, r.w.t)
 		}
 	}
 	return len(popped), moved, true
@@ -268,13 +315,13 @@ func (f *Futex) Waiters() int {
 // popWaiters removes up to n waiters of futex f from the shared bucket in
 // FIFO order, charging the waker per moved waiter. Must hold the bucket
 // lock.
-func (f *Futex) popWaiters(t *sched.Thread, n int, moveCost sim.Duration) []*waiter {
-	var popped []*waiter
+func (f *Futex) popWaiters(t *sched.Thread, n int, moveCost sim.Duration) []wakeRef {
+	var popped []wakeRef
 	kept := f.b.waiters[:0]
 	for _, w := range f.b.waiters {
 		if len(popped) < n && w.f == f {
 			w.woken = true
-			popped = append(popped, w)
+			popped = append(popped, wakeRef{w: w, gen: w.gen})
 			t.RunKernel(moveCost)
 		} else {
 			kept = append(kept, w)
@@ -304,30 +351,12 @@ func (f *Futex) WaitTimeout(t *sched.Thread, val uint64, timeout sim.Duration) (
 		f.b.lock.Unlock(t)
 		return false, false
 	}
-	w := &waiter{t: t, f: f, vb: f.useVB()}
+	w := f.tbl.getWaiter(t, f, f.useVB())
 	f.b.waiters = append(f.b.waiters, w)
-	if t.ID == 14 {
-		fmt.Printf("DBG enqueue t14 at %v val=%d word=%d\n", k.Engine().Now(), val, f.Word.Load())
-	}
 	f.b.lock.Unlock(t)
 	k.Metrics.FutexWaits++
 
-	// The timer fires in interrupt context: it removes the waiter from
-	// the bucket (if still there) and wakes the thread.
-	expired := false
-	timer := k.Engine().After(timeout, func() {
-		if w.woken || w.done {
-			return
-		}
-		w.woken = true
-		expired = true
-		f.removeWaiter(w)
-		if w.vb {
-			k.VWake(nil, w.t)
-		} else {
-			k.WakeIRQ(w.t)
-		}
-	})
+	timer := k.Engine().AfterCall(timeout, waitTimeoutFire, w, 0, 0)
 
 	if w.vb {
 		if !w.woken {
@@ -341,7 +370,28 @@ func (f *Futex) WaitTimeout(t *sched.Thread, val uint64, timeout sim.Duration) (
 	}
 	timer.Cancel()
 	w.done = true
+	expired := w.expired
+	f.tbl.putWaiter(w)
 	return true, expired
+}
+
+// waitTimeoutFire is the WaitTimeout deadline, firing in interrupt context:
+// it removes the waiter from the bucket (if still there) and wakes the
+// thread.
+func waitTimeoutFire(arg any, _, _ uint64) {
+	w := arg.(*waiter)
+	if w.woken || w.done {
+		return
+	}
+	w.woken = true
+	w.expired = true
+	w.f.removeWaiter(w)
+	k := w.f.tbl.k
+	if w.vb {
+		k.VWake(nil, w.t)
+	} else {
+		k.WakeIRQ(w.t)
+	}
 }
 
 // removeWaiter deletes w from the bucket queue (timer expiry path).

@@ -189,9 +189,11 @@ type BenchRegression struct {
 
 // CompareBench renders a comparison of cur against prev to w and returns
 // the cases whose sim-ns-per-wall-sec throughput regressed by more than
-// threshold (0.2 = 20%). Quick reports on either side disable regression
-// flagging — reduced problem sizes are not comparable gates — but the
-// table still renders.
+// threshold (0.2 = 20%). Gating is like-for-like: two full reports gate,
+// and two quick reports gate (same reduced problem sizes, so the ratios
+// are meaningful — this is what lets CI regression-gate a quick smoke);
+// a mixed quick/full pair only renders the table, since the problem
+// sizes differ.
 func CompareBench(w io.Writer, prev, cur *BenchReport, threshold float64) ([]BenchRegression, error) {
 	prevBy := make(map[string]BenchCase, len(prev.Cases))
 	for _, c := range prev.Cases {
@@ -205,7 +207,7 @@ func CompareBench(w io.Writer, prev, cur *BenchReport, threshold float64) ([]Ben
 		"case", "old sim-ns/s", "new sim-ns/s", "ratio"); err != nil {
 		return nil, err
 	}
-	gate := !prev.Quick && !cur.Quick
+	gate := prev.Quick == cur.Quick
 	var regs []BenchRegression
 	for _, c := range cur.Cases {
 		old, ok := prevBy[c.Name]
@@ -234,14 +236,35 @@ func CompareBench(w io.Writer, prev, cur *BenchReport, threshold float64) ([]Ben
 		}
 	}
 	if !gate {
-		if _, err := fmt.Fprintln(w, "  (quick report: regression gating disabled)"); err != nil {
+		if _, err := fmt.Fprintln(w, "  (mixed quick/full reports: regression gating disabled)"); err != nil {
 			return nil, err
 		}
 	}
 	return regs, nil
 }
 
-// benchFileName names a report after its date: BENCH_YYYYMMDD.json.
+// BenchFileName names a report after its date: BENCH_YYYYMMDD.json.
 func BenchFileName(date string) string {
 	return "BENCH_" + strings.ReplaceAll(date, "-", "") + ".json"
+}
+
+// NextBenchPath returns the path a new report for date should be written
+// to under dir, never clobbering an existing report: a second report on
+// the same day gets a letter suffix (BENCH_YYYYMMDDb.json, then c, …),
+// chosen so lexical order — which LatestBench relies on — stays
+// chronological ('.' sorts before any letter).
+func NextBenchPath(dir, date string) (string, error) {
+	base := BenchFileName(date)
+	p := filepath.Join(dir, base)
+	if _, err := os.Stat(p); os.IsNotExist(err) {
+		return p, nil
+	}
+	stem := strings.TrimSuffix(base, ".json")
+	for s := 'b'; s <= 'z'; s++ {
+		p = filepath.Join(dir, stem+string(s)+".json")
+		if _, err := os.Stat(p); os.IsNotExist(err) {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("bench: more than 25 reports for %s under %s", date, dir)
 }

@@ -136,21 +136,73 @@ func TestCompareBenchFlagsRegressions(t *testing.T) {
 	}
 }
 
-func TestCompareBenchQuickDisablesGating(t *testing.T) {
+func TestCompareBenchMixedQuickDisablesGating(t *testing.T) {
 	prev := validReport("2026-08-01")
 	cur := validReport("2026-08-06")
 	cur.Quick = true
-	cur.Cases[0].SimNSPerWallSec = 1 // catastrophically slower, but quick
+	cur.Cases[0].SimNSPerWallSec = 1 // catastrophically slower, but sizes differ
 	var buf bytes.Buffer
 	regs, err := CompareBench(&buf, prev, cur, 0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(regs) != 0 {
-		t.Errorf("quick comparison flagged regressions: %+v", regs)
+		t.Errorf("mixed quick/full comparison flagged regressions: %+v", regs)
 	}
-	if !strings.Contains(buf.String(), "quick report") {
-		t.Errorf("quick comparison does not say gating is disabled:\n%s", buf.String())
+	if !strings.Contains(buf.String(), "regression gating disabled") {
+		t.Errorf("mixed comparison does not say gating is disabled:\n%s", buf.String())
+	}
+}
+
+func TestCompareBenchQuickVsQuickGates(t *testing.T) {
+	prev := validReport("2026-08-01")
+	prev.Quick = true
+	cur := validReport("2026-08-06")
+	cur.Quick = true
+	cur.Cases[0].SimNSPerWallSec = prev.Cases[0].SimNSPerWallSec * 0.5
+	var buf bytes.Buffer
+	regs, err := CompareBench(&buf, prev, cur, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Case != "streamcluster-vb" {
+		t.Fatalf("quick-vs-quick regressions = %+v, want exactly streamcluster-vb", regs)
+	}
+}
+
+func TestNextBenchPathLetterSuffix(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := NextBenchPath(dir, "2026-08-06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_20260806.json" {
+		t.Fatalf("first path = %s, want BENCH_20260806.json", p1)
+	}
+	if err := WriteBench(p1, validReport("2026-08-06")); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NextBenchPath(dir, "2026-08-06")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_20260806b.json" {
+		t.Fatalf("second path = %s, want BENCH_20260806b.json", p2)
+	}
+	if p2 <= p1 {
+		t.Fatalf("suffixed path %s must sort after %s for LatestBench", p2, p1)
+	}
+	r2 := validReport("2026-08-06")
+	r2.Quick = true // marker to tell the two same-day reports apart
+	if err := WriteBench(p2, r2); err != nil {
+		t.Fatal(err)
+	}
+	latest, r, err := LatestBench(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != p2 || r == nil || !r.Quick {
+		t.Fatalf("LatestBench = %s (quick=%v), want the suffixed report %s", latest, r != nil && r.Quick, p2)
 	}
 }
 

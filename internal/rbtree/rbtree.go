@@ -24,6 +24,12 @@ type Tree[V any] struct {
 	root *Node[V]
 	size int
 	less func(a, b V) bool
+	// free is the node pool, chained through the right pointers: Delete
+	// pushes, Insert pops, so churny queues (the CFS runqueue) stop
+	// allocating once they reach their high-water mark. A deleted node's
+	// Value stays readable until a later Insert reuses the node; the
+	// handle itself must never be passed back to tree operations.
+	free *Node[V]
 }
 
 // New returns an empty tree ordered by less. Values comparing equal under
@@ -77,7 +83,15 @@ func (t *Tree[V]) Next(n *Node[V]) *Node[V] {
 
 // Insert adds value and returns its node handle.
 func (t *Tree[V]) Insert(value V) *Node[V] {
-	n := &Node[V]{Value: value, color: red}
+	n := t.free
+	if n != nil {
+		t.free = n.right
+		n.right = nil
+		n.Value = value
+		n.color = red
+	} else {
+		n = &Node[V]{Value: value, color: red}
+	}
 	var parent *Node[V]
 	link := &t.root
 	for *link != nil {
@@ -134,7 +148,9 @@ func (t *Tree[V]) Delete(n *Node[V]) {
 	if color == black {
 		t.deleteFixup(child, parent)
 	}
-	n.parent, n.left, n.right = nil, nil, nil
+	n.parent, n.left = nil, nil
+	n.right = t.free
+	t.free = n
 }
 
 // Each visits every value in order. The tree must not be mutated during the

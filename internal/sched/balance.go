@@ -9,7 +9,7 @@ func (k *Kernel) armBalance(c *cpu) {
 		return
 	}
 	stagger := sim.Duration(c.id) * 137 * sim.Microsecond
-	c.balanceEv = k.eng.After(k.costs.BalanceInterval+stagger, func() { k.balanceTick(c) })
+	c.balance.Rearm(k.costs.BalanceInterval + stagger)
 }
 
 func (k *Kernel) balanceTick(c *cpu) {
@@ -17,7 +17,7 @@ func (k *Kernel) balanceTick(c *cpu) {
 		k.pullFromBusiest(c, 0)
 	}
 	if k.live > 0 {
-		c.balanceEv = k.eng.After(k.costs.BalanceInterval, func() { k.balanceTick(c) })
+		c.balance.Rearm(k.costs.BalanceInterval)
 	}
 }
 

@@ -26,6 +26,7 @@ const (
 type cpu struct {
 	id      int
 	enabled bool
+	k       *Kernel
 
 	tree      *rbtree.Tree[*Thread]
 	nrBlocked int // virtually blocked threads in the tree
@@ -38,8 +39,8 @@ type cpu struct {
 	segStart sim.Time
 	segSpeed float64 // CPU-time per wall-time during the open segment
 	segKind  segKind
-	segEv    *sim.Event
-	sliceEv  *sim.Event
+	segEv    sim.Event  // one-shot completion of the open segment
+	slice    *sim.Timer // slice-expiry tick, rearmed per dispatch
 
 	overhead sim.Duration // pending kernel overhead before the op resumes
 
@@ -51,7 +52,7 @@ type cpu struct {
 	vbExitPending bool
 
 	schedQueued bool
-	balanceEv   *sim.Event
+	balance     *sim.Timer
 
 	busy     sim.Duration
 	busyMark sim.Time
@@ -138,7 +139,7 @@ type Kernel struct {
 	tracer Tracer
 
 	sampler   Sampler
-	samplerEv *sim.Event
+	samplerTm *sim.Timer
 
 	// Metrics accumulates counters over the run.
 	Metrics Metrics
@@ -176,29 +177,33 @@ type Sampler interface {
 // SetSampler installs (or, with nil, removes) the kernel's periodic state
 // sampler and arms its sim-time tick.
 func (k *Kernel) SetSampler(s Sampler) {
-	if k.samplerEv != nil {
-		k.samplerEv.Cancel()
-		k.samplerEv = nil
+	if k.samplerTm != nil {
+		k.samplerTm.Stop()
 	}
 	k.sampler = s
 	if s != nil {
+		if k.samplerTm == nil {
+			k.samplerTm = k.eng.Timer(k.sampleTick)
+		}
 		k.armSample()
 	}
 }
 
-// armSample schedules the next sampler tick.
+// armSample rearms the sampler tick.
 func (k *Kernel) armSample() {
 	iv := k.sampler.SampleInterval()
 	if iv <= 0 {
 		iv = 100 * sim.Microsecond
 	}
-	k.samplerEv = k.eng.After(iv, func() {
-		if k.sampler == nil {
-			return
-		}
-		k.sampler.Sample(k, k.eng.Now())
-		k.armSample()
-	})
+	k.samplerTm.Rearm(iv)
+}
+
+func (k *Kernel) sampleTick() {
+	if k.sampler == nil {
+		return
+	}
+	k.sampler.Sample(k, k.eng.Now())
+	k.armSample()
 }
 
 // trace emits one event if a tracer is installed.
@@ -239,11 +244,16 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 	for i := range k.cpus {
 		c := &cpu{
 			id:      i,
+			k:       k,
 			enabled: i < cfg.NCPUs,
 			tree:    rbtree.New[*Thread](threadLess),
 			core:    &hw.Core{ID: i},
 		}
 		c.lock = k.NewKLock(uint64(i))
+		// The two per-CPU periodic paths each own one rearmable timer (and
+		// its one closure) for the kernel's whole life.
+		c.slice = eng.Timer(func() { k.sliceExpire(c) })
+		c.balance = eng.Timer(func() { k.balanceTick(c) })
 		k.cpus[i] = c
 	}
 	k.nAllowed = cfg.NCPUs
@@ -377,7 +387,7 @@ func (k *Kernel) Spawn(name string, body func(*Thread)) *Thread {
 	if k.live == 1 {
 		// Re-arm balance ticks for kernels reused across workload batches.
 		for _, c := range k.cpus {
-			if c.balanceEv == nil || !c.balanceEv.Active() {
+			if !c.balance.Active() {
 				k.armBalance(c)
 			}
 		}
@@ -472,10 +482,47 @@ func (k *Kernel) reschedule(c *cpu) {
 		return
 	}
 	c.schedQueued = true
-	k.eng.After(0, func() {
-		c.schedQueued = false
-		k.schedule(c)
-	})
+	k.eng.AfterCall(0, reschedCall, c, 0, 0)
+}
+
+// Package-level trampolines for AtCall/AfterCall: non-capturing functions
+// whose state travels inline in the event node, keeping the kernel's hot
+// scheduling paths free of per-event closure allocations.
+func reschedCall(arg any, _, _ uint64) {
+	c := arg.(*cpu)
+	c.schedQueued = false
+	c.k.schedule(c)
+}
+
+func overheadDoneCall(arg any, _, _ uint64) {
+	c := arg.(*cpu)
+	c.k.closeSegment(c)
+	c.k.execute(c)
+}
+
+func finishRunCall(arg any, cpuID, epoch uint64) {
+	t := arg.(*Thread)
+	t.k.finishRun(t.k.cpus[cpuID], t, epoch)
+}
+
+func finishSpinCall(arg any, cpuID, epoch uint64) {
+	t := arg.(*Thread)
+	t.k.finishSpin(t.k.cpus[cpuID], t, epoch)
+}
+
+func finishSpinDeadlineCall(arg any, cpuID, epoch uint64) {
+	t := arg.(*Thread)
+	t.k.finishSpinDeadline(t.k.cpus[cpuID], t, epoch)
+}
+
+func timerWakeCall(arg any, _, _ uint64) {
+	t := arg.(*Thread)
+	t.k.timerWake(t)
+}
+
+func preemptNowCall(arg any, cpuID, _ uint64) {
+	t := arg.(*Thread)
+	t.k.preemptNow(t.k.cpus[cpuID], t)
 }
 
 // pickNext returns the next eligible thread on c, honouring BWD skip flags;
@@ -550,11 +597,8 @@ func (k *Kernel) schedule(c *cpu) {
 	k.execute(c)
 }
 
-// armSlice installs the slice-expiry timer for the current thread.
+// armSlice rearms the slice-expiry timer for the current thread.
 func (k *Kernel) armSlice(c *cpu) {
-	if c.sliceEv != nil {
-		c.sliceEv.Cancel()
-	}
 	n := c.eligible()
 	if n < 1 {
 		n = 1
@@ -563,7 +607,7 @@ func (k *Kernel) armSlice(c *cpu) {
 	if slice < k.costs.MinGranularity {
 		slice = k.costs.MinGranularity
 	}
-	c.sliceEv = k.eng.After(slice, func() { k.sliceExpire(c) })
+	c.slice.Rearm(slice)
 }
 
 // speed returns the CPU-time-per-wall-time factor of c, reduced when its
@@ -603,10 +647,8 @@ func (k *Kernel) closeSegment(c *cpu) {
 	if c.segKind == segNone {
 		return
 	}
-	if c.segEv != nil {
-		c.segEv.Cancel()
-		c.segEv = nil
-	}
+	c.segEv.Cancel()
+	c.segEv = sim.Event{}
 	t := c.curr
 	wall := k.eng.Now().Sub(c.segStart)
 	cpuT := sim.Duration(float64(wall) * c.segSpeed)
@@ -660,10 +702,7 @@ func (k *Kernel) execute(c *cpu) {
 	}
 	if c.overhead > 0 {
 		k.openSegment(c, segOverhead)
-		c.segEv = k.eng.After(k.wallFor(c, c.overhead), func() {
-			k.closeSegment(c)
-			k.execute(c)
-		})
+		c.segEv = k.eng.AfterCall(k.wallFor(c, c.overhead), overheadDoneCall, c, 0, 0)
 		return
 	}
 	r := &t.req
@@ -674,19 +713,16 @@ func (k *Kernel) execute(c *cpu) {
 		k.advance(c)
 	case reqRun:
 		k.openSegment(c, segRun)
-		epoch := r.epoch
-		c.segEv = k.eng.After(k.wallFor(c, r.remaining), func() { k.finishRun(c, t, epoch) })
+		c.segEv = k.eng.AfterCall(k.wallFor(c, r.remaining), finishRunCall, t, uint64(c.id), r.epoch)
 	case reqTight:
 		k.openSegment(c, segTight)
-		epoch := r.epoch
-		c.segEv = k.eng.After(k.wallFor(c, r.remaining), func() { k.finishRun(c, t, epoch) })
+		c.segEv = k.eng.AfterCall(k.wallFor(c, r.remaining), finishRunCall, t, uint64(c.id), r.epoch)
 	case reqSpin:
 		r.completing = false
 		k.openSegment(c, segSpin)
-		epoch := r.epoch
 		if r.cond() {
 			r.completing = true
-			c.segEv = k.eng.After(k.costs.SpinExitLatency, func() { k.finishSpin(c, t, epoch) })
+			c.segEv = k.eng.AfterCall(k.costs.SpinExitLatency, finishSpinCall, t, uint64(c.id), r.epoch)
 			return
 		}
 		if r.deadline > 0 {
@@ -695,7 +731,7 @@ func (k *Kernel) execute(c *cpu) {
 			if wait < sim.Duration(k.costs.SpinExitLatency) {
 				wait = sim.Duration(k.costs.SpinExitLatency)
 			}
-			c.segEv = k.eng.After(wait, func() { k.finishSpinDeadline(c, t, epoch) })
+			c.segEv = k.eng.AfterCall(wait, finishSpinDeadlineCall, t, uint64(c.id), r.epoch)
 		}
 		// Otherwise the spin burns CPU until a Kick, slice expiry, or BWD.
 	}
@@ -747,9 +783,7 @@ func (k *Kernel) Kick() {
 		}
 		if t.req.cond() {
 			t.req.completing = true
-			epoch := t.req.epoch
-			tt, cc := t, c
-			c.segEv = k.eng.After(k.costs.SpinExitLatency, func() { k.finishSpin(cc, tt, epoch) })
+			c.segEv = k.eng.AfterCall(k.costs.SpinExitLatency, finishSpinCall, t, uint64(c.id), t.req.epoch)
 		}
 	}
 }
@@ -771,7 +805,7 @@ func (k *Kernel) advance(c *cpu) {
 	// The slice timer can have been consumed by an expiry that coincided
 	// with the previous request's completion; the thread must never run a
 	// new request without one, or a spin would occupy the CPU forever.
-	if c.sliceEv == nil || !c.sliceEv.Active() {
+	if !c.slice.Active() {
 		k.armSlice(c)
 	}
 	k.execute(c)
@@ -784,10 +818,7 @@ func (k *Kernel) exitThread(c *cpu, t *Thread) {
 	t.exitTime = k.eng.Now()
 	c.curr = nil
 	c.lastRan = nil
-	if c.sliceEv != nil {
-		c.sliceEv.Cancel()
-		c.sliceEv = nil
-	}
+	c.slice.Stop()
 	k.live--
 	if k.live == 0 && k.stopWhenIdle {
 		k.eng.Stop()
@@ -832,7 +863,7 @@ func (k *Kernel) applyDirective(t *Thread) {
 		t.state = StateSleeping
 		d := t.req.sleep
 		k.trace(c.id, t, "sleep", int64(d))
-		k.eng.After(d, func() { k.timerWake(t) })
+		k.eng.AfterCall(d, timerWakeCall, t, 0, 0)
 		k.reschedule(c)
 	default:
 		panic("sched: invalid parked request")
@@ -845,10 +876,7 @@ func (k *Kernel) offCPU(c *cpu, t *Thread, voluntary bool) {
 		panic("sched: offCPU of non-current thread")
 	}
 	k.closeSegment(c)
-	if c.sliceEv != nil {
-		c.sliceEv.Cancel()
-		c.sliceEv = nil
-	}
+	c.slice.Stop()
 	c.curr = nil
 	if voluntary {
 		t.VolCS++
@@ -866,7 +894,6 @@ func (k *Kernel) sliceExpire(c *cpu) {
 	if t == nil {
 		return
 	}
-	c.sliceEv = nil
 	k.closeSegment(c)
 	if t.req.kind == reqRun || t.req.kind == reqTight {
 		if t.req.remaining <= 0 {
@@ -954,19 +981,23 @@ func (k *Kernel) exitVBIdle(c *cpu) {
 	}
 	c.vbExitPending = true
 	lat := k.costs.FlagCheck * sim.Duration(c.nrBlocked/2+1)
-	k.eng.After(lat, func() {
-		c.vbExitPending = false
-		c.vbIdle = false
-		if c.curr == nil && c.tree.Len() == c.nrBlocked && c.tree.Len() > 0 {
-			// Everything blocked again in the meantime.
-			c.vbIdle = true
-			return
-		}
-		if c.curr == nil {
-			c.markIdle(k.eng.Now())
-		}
-		k.schedule(c)
-	})
+	k.eng.AfterCall(lat, vbExitCall, c, 0, 0)
+}
+
+func vbExitCall(arg any, _, _ uint64) {
+	c := arg.(*cpu)
+	k := c.k
+	c.vbExitPending = false
+	c.vbIdle = false
+	if c.curr == nil && c.tree.Len() == c.nrBlocked && c.tree.Len() > 0 {
+		// Everything blocked again in the meantime.
+		c.vbIdle = true
+		return
+	}
+	if c.curr == nil {
+		c.markIdle(k.eng.Now())
+	}
+	k.schedule(c)
 }
 
 // timerWake wakes a thread from a timed sleep: a cheap local wakeup from
@@ -1066,7 +1097,7 @@ func (k *Kernel) checkPreemptGran(c *cpu, t *Thread, waker *Thread, gran sim.Dur
 	// vruntime test passes; the minimum granularity gates only tick-driven
 	// preemption. (A thread that keeps being preempted retains its low
 	// vruntime and is promptly rescheduled, so starvation is bounded.)
-	k.eng.After(0, func() { k.preemptNow(c, curr) })
+	k.eng.AtCall(k.eng.Now(), preemptNowCall, curr, uint64(c.id), 0)
 }
 
 // preemptNow forces curr off c if it is still running.

@@ -1,0 +1,36 @@
+package sched
+
+import (
+	"testing"
+
+	"oversub/internal/hw"
+	"oversub/internal/sim"
+)
+
+// BenchmarkKernelWakeDispatch measures the kernel's hottest event path:
+// a thread sleeps, the timer fires, the wake enqueues it, and the
+// dispatcher context-switches it back in. Each iteration is one full
+// sleep → timer-wake → dispatch → run cycle, so the number covers the
+// pooled timer nodes, the closure-free reschedule trampolines, and the
+// runqueue churn together.
+func BenchmarkKernelWakeDispatch(b *testing.B) {
+	eng := sim.NewEngine(12345)
+	k := New(eng, Config{
+		Topo:  hw.Topology{Sockets: 1, CoresPerSocket: 2, ThreadsPerCore: 1},
+		NCPUs: 2,
+		Costs: DefaultCosts(),
+		Seed:  777,
+	})
+	iters := b.N
+	k.Spawn("sleeper", func(t *Thread) {
+		for i := 0; i < iters; i++ {
+			t.Sleep(10 * sim.Microsecond)
+			t.Run(sim.Microsecond)
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := k.RunToCompletion(0); err != nil {
+		b.Fatal(err)
+	}
+}

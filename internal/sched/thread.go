@@ -293,14 +293,16 @@ func (t *Thread) String() string {
 	return fmt.Sprintf("thread#%d", t.ID)
 }
 
+// reqKindNames names request kinds for diagnostics, indexed by reqKind.
+var reqKindNames = [...]string{
+	reqNew: "new", reqRun: "run", reqTight: "tight", reqSpin: "spin",
+	reqYield: "yield", reqBlock: "block", reqVBlock: "vblock", reqSleep: "sleep",
+}
+
 // DebugState describes the thread's scheduler state and pending request,
 // for diagnostics and tests.
 func (t *Thread) DebugState() string {
-	kinds := map[reqKind]string{
-		reqNew: "new", reqRun: "run", reqTight: "tight", reqSpin: "spin",
-		reqYield: "yield", reqBlock: "block", reqVBlock: "vblock", reqSleep: "sleep",
-	}
 	return fmt.Sprintf("%v/%s rem=%v cpu=%d vr=%v kern=%v noPre=%v skip=%d",
-		t.state, kinds[t.req.kind], t.req.remaining, t.cpu, t.vruntime,
+		t.state, reqKindNames[t.req.kind], t.req.remaining, t.cpu, t.vruntime,
 		t.req.kernSpin, t.req.noPreempt, t.skipUntil)
 }

@@ -1,0 +1,242 @@
+package sim
+
+// Differential heap oracle: the engine's event queue (4-ary heap +
+// zero-delay FIFO ring + pooled nodes + rearmable timers) is checked
+// against a deliberately naive model — an unordered slice scanned for the
+// minimum (at, seq) on every pop. The fuzzer drives both through the same
+// op sequence (schedule, cancel, rearm, stop, bounded run, single step,
+// chained zero-delay callbacks) and requires identical firing order,
+// identical clocks, and an identical live-event count after every op. Any
+// divergence — a tombstone popped, a sift bug, a generation check missed,
+// a live-counter drift — fails immediately with the op index.
+
+import "testing"
+
+const (
+	oracleStep   = Microsecond
+	oracleTimers = 2
+	// timerID namespaces timer firings away from plain-event ids in the log.
+	oracleTimerID = 1 << 32
+)
+
+type oracleFire struct {
+	id uint64
+	at Time
+}
+
+type oracleEvent struct {
+	at    Time
+	seq   uint64
+	id    uint64
+	chain uint8
+	timer int // -1 for plain events, else the timer index
+}
+
+// oracle is the naive model: an unordered slice, linear-scan min, and the
+// exact (at, seq) and run-horizon semantics the engine documents.
+type oracle struct {
+	now Time
+	seq uint64
+	evs []oracleEvent
+	log []oracleFire
+}
+
+func (o *oracle) schedule(d Duration, id uint64, chain uint8) uint64 {
+	o.seq++
+	o.evs = append(o.evs, oracleEvent{at: o.now.Add(d), seq: o.seq, id: id, chain: chain, timer: -1})
+	return o.seq
+}
+
+func (o *oracle) cancel(seq uint64) {
+	for i := range o.evs {
+		if o.evs[i].seq == seq {
+			o.evs[i] = o.evs[len(o.evs)-1]
+			o.evs = o.evs[:len(o.evs)-1]
+			return
+		}
+	}
+}
+
+func (o *oracle) rearm(timer int, d Duration) {
+	o.seq++
+	for i := range o.evs {
+		if o.evs[i].timer == timer {
+			o.evs[i].at, o.evs[i].seq = o.now.Add(d), o.seq
+			return
+		}
+	}
+	o.evs = append(o.evs, oracleEvent{at: o.now.Add(d), seq: o.seq,
+		id: oracleTimerID + uint64(timer), timer: timer})
+}
+
+func (o *oracle) stopTimer(timer int) {
+	for i := range o.evs {
+		if o.evs[i].timer == timer {
+			o.evs[i] = o.evs[len(o.evs)-1]
+			o.evs = o.evs[:len(o.evs)-1]
+			return
+		}
+	}
+}
+
+func (o *oracle) min() int {
+	best := -1
+	for i := range o.evs {
+		if best < 0 || o.evs[i].at < o.evs[best].at ||
+			(o.evs[i].at == o.evs[best].at && o.evs[i].seq < o.evs[best].seq) {
+			best = i
+		}
+	}
+	return best
+}
+
+func (o *oracle) fire(i int) {
+	ev := o.evs[i]
+	o.evs[i] = o.evs[len(o.evs)-1]
+	o.evs = o.evs[:len(o.evs)-1]
+	o.now = ev.at
+	o.log = append(o.log, oracleFire{id: ev.id, at: ev.at})
+	if ev.chain > 0 {
+		o.schedule(chainDelay(ev.id), ev.id*7+1, ev.chain-1)
+	}
+}
+
+// run mirrors Engine.Run: until <= 0 means no horizon; reaching the
+// horizon advances the clock to it, draining the queue does not.
+func (o *oracle) run(until Time) {
+	for {
+		i := o.min()
+		if i < 0 {
+			return
+		}
+		if until > 0 && o.evs[i].at > until {
+			o.now = until
+			return
+		}
+		o.fire(i)
+	}
+}
+
+func (o *oracle) step() {
+	if i := o.min(); i >= 0 {
+		o.fire(i)
+	}
+}
+
+// chainDelay is the shared rule both sides use for the child an event with
+// chain > 0 schedules when it fires. id%3 == 0 yields a zero delay, which
+// lands the child on the engine's FIFO ring mid-run.
+func chainDelay(id uint64) Duration {
+	return Duration(id%3) * oracleStep
+}
+
+// oracleRig is the engine-side mirror of the oracle's chain rule.
+type oracleRig struct {
+	eng *Engine
+	log []oracleFire
+}
+
+func (r *oracleRig) schedule(d Duration, id uint64, chain uint8) Event {
+	return r.eng.After(d, func() {
+		r.log = append(r.log, oracleFire{id: id, at: r.eng.Now()})
+		if chain > 0 {
+			r.schedule(chainDelay(id), id*7+1, chain-1)
+		}
+	})
+}
+
+func FuzzEngineDifferential(f *testing.F) {
+	f.Add([]byte{0x00, 0x05, 0x04, 0x09, 0x00, 0x02, 0x01, 0x00, 0x06, 0x00})
+	f.Add([]byte{0x02, 0x03, 0x02, 0x06, 0x03, 0x00, 0x02, 0x0a, 0x04, 0x04, 0x06, 0x00})
+	f.Add([]byte{0x07, 0x02, 0x07, 0x05, 0x05, 0x00, 0x05, 0x00, 0x05, 0x00, 0x01, 0x01})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x00, 0x03, 0x01, 0x00, 0x01, 0x01, 0x04, 0x08,
+		0x02, 0x0c, 0x02, 0x0d, 0x04, 0x01, 0x03, 0x01, 0x06, 0x00})
+	f.Add([]byte{0x00, 0x08, 0x04, 0x00, 0x07, 0x06, 0x07, 0x03, 0x05, 0x00, 0x01, 0x02,
+		0x01, 0x02, 0x02, 0x09, 0x02, 0x04, 0x06, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := NewEngine(1)
+		rig := &oracleRig{eng: eng}
+		model := &oracle{}
+
+		tms := make([]*Timer, oracleTimers)
+		for i := range tms {
+			i := i
+			tms[i] = eng.Timer(func() {
+				rig.log = append(rig.log, oracleFire{id: oracleTimerID + uint64(i), at: eng.Now()})
+			})
+		}
+
+		type handle struct {
+			ev  Event
+			seq uint64
+		}
+		var handles []handle
+		nextID := uint64(1)
+
+		for pc := 0; pc+1 < len(data) && pc < 400; pc += 2 {
+			op, param := data[pc]%8, data[pc+1]
+			switch op {
+			case 0: // schedule, delay 0..6 steps, chain depth 0..2
+				d := Duration(param%7) * oracleStep
+				id := nextID
+				nextID++
+				ev := rig.schedule(d, id, param%3)
+				handles = append(handles, handle{ev: ev, seq: model.schedule(d, id, param%3)})
+			case 1: // cancel an arbitrary prior handle (stale handles included)
+				if len(handles) > 0 {
+					h := handles[int(param)%len(handles)]
+					h.ev.Cancel()
+					model.cancel(h.seq)
+				}
+			case 2: // rearm a timer (re-keys in place when already armed)
+				i := int(param) % oracleTimers
+				d := Duration(param%5) * oracleStep
+				tms[i].Rearm(d)
+				model.rearm(i, d)
+			case 3: // stop a timer
+				i := int(param) % oracleTimers
+				tms[i].Stop()
+				model.stopTimer(i)
+			case 4: // run with a horizon (0 steps from a zero clock = no limit)
+				until := eng.Now().Add(Duration(param%9) * oracleStep)
+				eng.Run(until)
+				model.run(until)
+			case 5: // single step
+				eng.Step()
+				model.step()
+			case 6: // drain
+				eng.Run(0)
+				model.run(0)
+			case 7: // zero-delay schedule (FIFO-ring pressure), chain 0..2
+				id := nextID
+				nextID++
+				ev := rig.schedule(0, id, param%3)
+				handles = append(handles, handle{ev: ev, seq: model.schedule(0, id, param%3)})
+			}
+			if eng.Pending() != len(model.evs) {
+				t.Fatalf("op %d (code %d): Pending() = %d, model has %d live events",
+					pc/2, op, eng.Pending(), len(model.evs))
+			}
+			if eng.Now() != model.now {
+				t.Fatalf("op %d (code %d): clock = %v, model clock = %v",
+					pc/2, op, eng.Now(), model.now)
+			}
+		}
+
+		eng.Run(0)
+		model.run(0)
+		if eng.Pending() != 0 {
+			t.Fatalf("drained engine still reports %d pending events", eng.Pending())
+		}
+		if len(rig.log) != len(model.log) {
+			t.Fatalf("engine fired %d events, model fired %d", len(rig.log), len(model.log))
+		}
+		for i := range rig.log {
+			if rig.log[i] != model.log[i] {
+				t.Fatalf("firing %d diverged: engine (id=%d at=%v), model (id=%d at=%v)",
+					i, rig.log[i].id, rig.log[i].at, model.log[i].id, model.log[i].at)
+			}
+		}
+	})
+}

@@ -46,11 +46,50 @@ type MemcachedResult struct {
 	Events   uint64
 }
 
-// request is one in-flight client request.
+// request is one in-flight client request. The closed loop keeps exactly
+// one request in flight per connection, so each connection owns a single
+// record for the whole run instead of allocating one per operation.
 type mcRequest struct {
 	arrival sim.Time
 	isGet   bool
 	conn    int
+	cl      *mcClient
+}
+
+// mcClient is the mutilate-style closed-loop client: the per-connection
+// request records plus the state the closure-free scheduling trampolines
+// below need.
+type mcClient struct {
+	eng      *sim.Engine
+	rng      *sim.Rand
+	polls    []*epoll.Poll
+	reqs     []*mcRequest
+	rtt      sim.Duration
+	getRatio float64
+	issued   int
+	max      int
+}
+
+func (cl *mcClient) issue(conn int) {
+	if cl.issued >= cl.max {
+		return
+	}
+	cl.issued++
+	req := cl.reqs[conn]
+	req.isGet = cl.rng.Float64() < cl.getRatio
+	// Request hits the NIC after half an RTT.
+	cl.eng.AfterCall(sim.Duration(cl.rng.Jitter(cl.rtt/2, 0.2)), mcArrive, req, 0, 0)
+}
+
+func mcArrive(arg any, _, _ uint64) {
+	req := arg.(*mcRequest)
+	cl := req.cl
+	req.arrival = cl.eng.Now()
+	cl.polls[req.conn%len(cl.polls)].Post(req)
+}
+
+func mcReissue(arg any, conn, _ uint64) {
+	arg.(*mcClient).issue(int(conn))
 }
 
 // Memcached simulates the §4.2 cloud workload: a memcached server whose
@@ -111,7 +150,6 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 
 	var lat stats.Latency
 	served := 0
-	issued := 0
 	rng := eng.Rand().Split()
 
 	// Service time components (single-request path, calibrated to a
@@ -123,18 +161,17 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 	netSend := 3 * sim.Microsecond
 	rtt := 25 * sim.Microsecond // client-server network round trip
 
-	var issue func(conn int)
-	issue = func(conn int) {
-		if issued >= cfg.Requests {
-			return
-		}
-		issued++
-		req := &mcRequest{isGet: rng.Float64() < cfg.GetRatio, conn: conn}
-		// Request hits the NIC after half an RTT.
-		eng.After(sim.Duration(rng.Jitter(rtt/2, 0.2)), func() {
-			req.arrival = eng.Now()
-			polls[conn%cfg.Workers].Post(req)
-		})
+	cl := &mcClient{
+		eng:      eng,
+		rng:      rng,
+		polls:    polls,
+		rtt:      rtt,
+		getRatio: cfg.GetRatio,
+		max:      cfg.Requests,
+		reqs:     make([]*mcRequest, cfg.Conns),
+	}
+	for c := range cl.reqs {
+		cl.reqs[c] = &mcRequest{conn: c, cl: cl}
 	}
 
 	complete := func(req *mcRequest) {
@@ -145,7 +182,7 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 		}
 		// Closed loop: the connection issues its next request after the
 		// response travels back.
-		eng.After(sim.Duration(rng.Jitter(rtt/2, 0.2)), func() { issue(req.conn) })
+		eng.AfterCall(sim.Duration(rng.Jitter(rtt/2, 0.2)), mcReissue, cl, uint64(req.conn), 0)
 	}
 
 	for w := 0; w < cfg.Workers; w++ {
@@ -181,7 +218,7 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 
 	start := eng.Now()
 	for c := 0; c < cfg.Conns; c++ {
-		issue(c)
+		cl.issue(c)
 	}
 	if err := k.RunToCompletion(sim.Time(600 * sim.Second)); err != nil {
 		panic(err)
