@@ -103,6 +103,33 @@ if ! grep -Eq '[[:space:]]0 allocs/op' "$detdir/wakebench.txt"; then
 fi
 echo "zero-alloc pins hold; wake dispatch at 0 allocs/op."
 
+echo "== fleet smoke: schema + cross-pool determinism =="
+# A small fleet capacity sweep runs twice — serial and parallel — with
+# identical seeds; the rendered table and the oversub-fleet/v1 JSON report
+# must be byte-identical, and the report must carry the schema tag (the
+# CLI validates the envelope before writing and exits nonzero otherwise).
+"$detdir/oversim" -fleet 1,2 -fleet-qps 20000 -fleet-duration 200 \
+    -fleet-policies jsq -fleet-variants vanilla,vb+bwd -seed 11 -jobs 1 \
+    -fleet-out "$detdir/fleet1.json" | grep -v '^wrote ' >"$detdir/fleet1.txt"
+"$detdir/oversim" -fleet 1,2 -fleet-qps 20000 -fleet-duration 200 \
+    -fleet-policies jsq -fleet-variants vanilla,vb+bwd -seed 11 -jobs 8 \
+    -fleet-out "$detdir/fleet2.json" | grep -v '^wrote ' >"$detdir/fleet2.txt"
+if ! cmp -s "$detdir/fleet1.txt" "$detdir/fleet2.txt"; then
+    echo "fleet smoke FAILED: parallel table differs from serial" >&2
+    diff "$detdir/fleet1.txt" "$detdir/fleet2.txt" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$detdir/fleet1.json" "$detdir/fleet2.json"; then
+    echo "fleet smoke FAILED: parallel JSON report differs from serial" >&2
+    diff "$detdir/fleet1.json" "$detdir/fleet2.json" >&2 || true
+    exit 1
+fi
+if ! grep -q '"schema": "oversub-fleet/v1"' "$detdir/fleet1.json"; then
+    echo "fleet smoke FAILED: report missing oversub-fleet/v1 schema tag" >&2
+    exit 1
+fi
+echo "fleet report schema-tagged and byte-identical across pool widths."
+
 echo "== bench smoke: BENCH schema + comparison =="
 # A quick bench pass must emit a schema-valid BENCH_<date>.json (the
 # harness validates before writing and exits nonzero otherwise), and a

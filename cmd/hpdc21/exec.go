@@ -26,7 +26,11 @@ type env struct {
 // the fingerprinted inputs (engine internals, workload bodies) alters
 // results, so stale entries from older binaries cannot be served.
 // v2: Result/MemcachedResult grew Events/ExecTime fields.
-const cacheSchema = "hpdc21/v2"
+// v3: fleet runs joined the cache; their keys carry the full fleet
+// topology/config (machine count, machine features, tenant mix, policy,
+// arrival process), and the memcached server moved onto the shared
+// workload.Service path.
+const cacheSchema = "hpdc21/v3"
 
 // fingerprint keys one run from everything that determines its outcome:
 // the schema version, the run kind, the kernel cost table (a recalibration

@@ -81,6 +81,7 @@ var experiments = []experiment{
 	{"tab2", "Table 2: BWD true-positive rate", tab2},
 	{"tab3", "Table 3: BWD false-positive rate", tab3},
 	{"fig15", "Figure 15: comparison with SHFLLOCK and spin-then-park locks", fig15},
+	{"fleet", "Fleet capacity: machines needed to meet a p99 SLO, by kernel variant", fleet},
 }
 
 func main() {

@@ -1,0 +1,171 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"oversub"
+	"oversub/internal/cluster"
+	"oversub/internal/runner"
+	"oversub/internal/sched"
+	"oversub/internal/sweep"
+)
+
+// fleetFlags holds the -fleet* option group.
+type fleetFlags struct {
+	machines string
+	qps      float64
+	duration int
+	warmup   int
+	policies string
+	variants string
+	arrival  string
+	sloUs    int
+	outJSON  string
+}
+
+// splitList parses a comma-separated flag value.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseMachines parses the -fleet machine-count list.
+func parseMachines(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitList(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-fleet: bad machine count %q", p)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-fleet: empty machine-count list")
+	}
+	return out, nil
+}
+
+// selectVariants resolves -fleet-variants labels against the standard set.
+func selectVariants(s string) ([]sweep.Variant, error) {
+	all := sweep.FleetVariants()
+	if s == "" {
+		return all, nil
+	}
+	var out []sweep.Variant
+	for _, label := range splitList(s) {
+		found := false
+		for _, v := range all {
+			if v.Label == label {
+				out = append(out, v)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("-fleet-variants: unknown variant %q (want vanilla, vb, bwd, or vb+bwd)", label)
+		}
+	}
+	return out, nil
+}
+
+// runFleet executes the -fleet mode: a policy x variant x machine-count
+// capacity sweep at fixed offered load, printed as a table and optionally
+// written as a schema-validated oversub-fleet/v1 JSON report. With a
+// single grid cell, -trace and -metrics attach to machine 0 of that run.
+func runFleet(pool *runner.Pool, ff fleetFlags, seed uint64, traceTo, traceFm, metTo, metFm string) error {
+	machines, err := parseMachines(ff.machines)
+	if err != nil {
+		return err
+	}
+	variants, err := selectVariants(ff.variants)
+	if err != nil {
+		return err
+	}
+	policies := splitList(ff.policies)
+	if len(policies) == 0 {
+		policies = []string{"rr"}
+	}
+
+	cfg := sweep.FleetSweep{
+		Base: cluster.FleetConfig{
+			QPS:      ff.qps,
+			Arrival:  ff.arrival,
+			Duration: oversub.Duration(ff.duration) * oversub.Millisecond,
+			Warmup:   oversub.Duration(ff.warmup) * oversub.Millisecond,
+			Seed:     seed,
+		},
+		Machines: machines,
+		Policies: policies,
+		Variants: variants,
+		SLO:      oversub.Duration(ff.sloUs) * oversub.Microsecond,
+	}
+
+	cells := len(machines) * len(policies) * len(variants)
+	var ring *oversub.TraceRing
+	var sampler *oversub.MetricsSampler
+	if traceTo != "" || metTo != "" {
+		if cells != 1 {
+			return fmt.Errorf("-trace/-metrics record a single run; the fleet grid has %d cells (narrow -fleet, -fleet-policies, -fleet-variants)", cells)
+		}
+		if traceTo != "" {
+			ring = oversub.NewTraceRing(1 << 20)
+			cfg.Base.TracerFor = func(m int) sched.Tracer {
+				if m == 0 {
+					return ring
+				}
+				return nil
+			}
+		}
+		if metTo != "" {
+			sampler = oversub.NewMetricsSampler(oversub.MetricsConfig{})
+			cfg.Base.SamplerFor = func(m int) sched.Sampler {
+				if m == 0 {
+					return sampler
+				}
+				return nil
+			}
+		}
+		pool = nil // observed runs stay in-process
+	}
+
+	rep, err := sweep.RunFleetOn(pool, cfg)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if ff.outJSON != "" {
+		f, err := os.Create(ff.outJSON)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s (%s)\n", ff.outJSON, cluster.Schema)
+	}
+	if ring != nil {
+		if err := emitTrace(ring, traceTo, traceFm); err != nil {
+			return err
+		}
+	}
+	if sampler != nil {
+		if err := emitMetrics(sampler, metTo, metFm); err != nil {
+			return err
+		}
+	}
+	return nil
+}

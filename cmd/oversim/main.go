@@ -26,29 +26,38 @@ import (
 
 func main() {
 	var (
-		bench   = flag.String("bench", "", "benchmark name (see -list), or 'memcached'")
-		list    = flag.Bool("list", false, "list available benchmarks")
-		threads = flag.Int("threads", 0, "thread count (0 = benchmark's optimal)")
-		cores   = flag.Int("cores", 8, "physical cores in the cpuset")
-		smt     = flag.Int("smt", 1, "hyper-threads per core")
-		vb      = flag.Bool("vb", false, "enable virtual blocking")
-		bwd     = flag.Bool("bwd", false, "enable busy-waiting detection")
-		ple     = flag.Bool("ple", false, "enable pause-loop exiting (needs -vm)")
-		vm      = flag.Bool("vm", false, "run inside a virtual machine")
-		pinned  = flag.Bool("pinned", false, "pin threads to cores")
-		lockImp = flag.String("locks", "", "lock library: pthread|mutexee|mcstp|shfllock")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		scale   = flag.Float64("scale", 1.0, "work scale")
-		growTo  = flag.Int("grow", 0, "resize the cpuset to this many cores at t=2ms")
-		traceTo = flag.String("trace", "", "write the scheduling event trace to this file")
-		traceFm = flag.String("trace-format", "text", "trace output format: text (one event per line), json (Chrome trace-event, Perfetto-loadable), summary (derived analytics tables)")
-		metTo   = flag.String("metrics", "", "write a deterministic metrics time-series of the run to this file")
-		metFm   = flag.String("metrics-format", "summary", "metrics output format: csv, json, or summary")
-		doSweep = flag.Bool("sweep", false, "sweep threads x cores x kernel variants and print a table")
-		reps    = flag.Int("reps", 1, "repetitions over seeds seed..seed+reps-1, with mean/stddev")
-		jobs    = flag.Int("jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		bench     = flag.String("bench", "", "benchmark name (see -list), or 'memcached'")
+		list      = flag.Bool("list", false, "list available benchmarks")
+		threads   = flag.Int("threads", 0, "thread count (0 = benchmark's optimal)")
+		cores     = flag.Int("cores", 8, "physical cores in the cpuset")
+		smt       = flag.Int("smt", 1, "hyper-threads per core")
+		vb        = flag.Bool("vb", false, "enable virtual blocking")
+		bwd       = flag.Bool("bwd", false, "enable busy-waiting detection")
+		ple       = flag.Bool("ple", false, "enable pause-loop exiting (needs -vm)")
+		vm        = flag.Bool("vm", false, "run inside a virtual machine")
+		pinned    = flag.Bool("pinned", false, "pin threads to cores")
+		lockImp   = flag.String("locks", "", "lock library: pthread|mutexee|mcstp|shfllock")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		scale     = flag.Float64("scale", 1.0, "work scale")
+		growTo    = flag.Int("grow", 0, "resize the cpuset to this many cores at t=2ms")
+		traceTo   = flag.String("trace", "", "write the scheduling event trace to this file")
+		traceFm   = flag.String("trace-format", "text", "trace output format: text (one event per line), json (Chrome trace-event, Perfetto-loadable), summary (derived analytics tables)")
+		metTo     = flag.String("metrics", "", "write a deterministic metrics time-series of the run to this file")
+		metFm     = flag.String("metrics-format", "summary", "metrics output format: csv, json, or summary")
+		doSweep   = flag.Bool("sweep", false, "sweep threads x cores x kernel variants and print a table")
+		reps      = flag.Int("reps", 1, "repetitions over seeds seed..seed+reps-1, with mean/stddev")
+		jobs      = flag.Int("jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		fleetMs   = flag.String("fleet", "", "fleet capacity sweep over these machine counts (e.g. \"1,2,4\"); ignores -bench")
+		fleetQPS  = flag.Float64("fleet-qps", 50000, "fleet: offered load, requests/sec fleet-wide")
+		fleetDur  = flag.Int("fleet-duration", 500, "fleet: simulated run length in ms")
+		fleetWarm = flag.Int("fleet-warmup", 0, "fleet: warmup excluded from latency accounting, ms (0 = duration/10)")
+		fleetPol  = flag.String("fleet-policies", "rr,jsq,ewma", "fleet: dispatch policies to sweep (rr,jsq,ewma)")
+		fleetVar  = flag.String("fleet-variants", "", "fleet: kernel variants to sweep (default vanilla,vb,bwd,vb+bwd)")
+		fleetArr  = flag.String("fleet-arrival", "poisson", "fleet: arrival process (poisson, mmpp, diurnal)")
+		fleetSLO  = flag.Int("fleet-slo", 400, "fleet: p99 SLO in microseconds")
+		fleetOut  = flag.String("fleet-out", "", "fleet: also write the oversub-fleet/v1 JSON report to this file")
 	)
 	flag.Parse()
 
@@ -60,7 +69,7 @@ func main() {
 		fmt.Println("memcached      (service benchmark; -threads selects workers)")
 		return
 	}
-	if *bench == "" {
+	if *bench == "" && *fleetMs == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -98,6 +107,19 @@ func main() {
 
 	pool := runner.New(*jobs)
 	defer pool.Close()
+
+	if *fleetMs != "" {
+		ff := fleetFlags{
+			machines: *fleetMs, qps: *fleetQPS, duration: *fleetDur,
+			warmup: *fleetWarm, policies: *fleetPol, variants: *fleetVar,
+			arrival: *fleetArr, sloUs: *fleetSLO, outJSON: *fleetOut,
+		}
+		if err := runFleet(pool, ff, *seed, *traceTo, *traceFm, *metTo, *metFm); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	detect := oversub.DetectOff
 	if *bwd {

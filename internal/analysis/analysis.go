@@ -77,6 +77,7 @@ func Analyzers() []*Analyzer {
 var simScopeDirs = []string{
 	"sim", "sched", "futex", "epoll", "bwd", "locks",
 	"hw", "mem", "omp", "workload", "sweep", "stats", "trace", "metrics",
+	"cluster",
 }
 
 // DefaultSimScope returns the predicate marking which import paths of the

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"oversub/internal/sim"
+)
+
+// Process generates open-loop inter-arrival gaps. A process may carry
+// internal state (the MMPP regime), so each tenant owns one instance; the
+// caller passes the current simulated time and the tenant's private RNG,
+// making the gap sequence a pure function of (kind, rate, seed).
+type Process interface {
+	// Kind names the process ("poisson", "mmpp", "diurnal").
+	Kind() string
+	// Next returns the gap from now to the next arrival. Gaps are always
+	// positive so an arrival can never schedule into the past.
+	Next(now sim.Time, rng *sim.Rand) sim.Duration
+}
+
+// ArrivalKinds lists the supported processes in definition order.
+func ArrivalKinds() []string { return []string{"poisson", "mmpp", "diurnal"} }
+
+// NewProcess builds an arrival process producing rate arrivals per second
+// on average. MMPP and diurnal modulate around that mean, so sweeps across
+// kinds compare equal offered load with different burstiness.
+func NewProcess(kind string, rate float64) (Process, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("cluster: arrival rate must be positive, got %g", rate)
+	}
+	switch kind {
+	case "", "poisson":
+		return &poisson{rate: rate}, nil
+	case "mmpp", "bursty":
+		return &mmpp{rate: rate}, nil
+	case "diurnal":
+		return &diurnal{rate: rate}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown arrival process %q (want poisson, mmpp, or diurnal)", kind)
+}
+
+// gapAt converts a per-second rate into one exponentially distributed gap.
+func gapAt(rate float64, rng *sim.Rand) sim.Duration {
+	g := sim.Duration(rng.ExpFloat64() / rate * float64(sim.Second))
+	if g < 1 {
+		g = 1 // the engine needs strictly advancing arrivals per tenant
+	}
+	return g
+}
+
+// poisson is the memoryless baseline: exponential gaps at a constant rate.
+type poisson struct{ rate float64 }
+
+func (p *poisson) Kind() string { return "poisson" }
+
+func (p *poisson) Next(_ sim.Time, rng *sim.Rand) sim.Duration {
+	return gapAt(p.rate, rng)
+}
+
+// mmpp is a two-state Markov-modulated Poisson process: a "hi" burst
+// regime at 3x the mean rate (mean dwell 50ms) alternating with a "lo"
+// trough at 0.5x (mean dwell 200ms). The dwell ratio makes the long-run
+// average exactly the configured rate: (3*50 + 0.5*200)/(50+200) = 1.0.
+type mmpp struct {
+	rate      float64
+	inHi      bool
+	regimeEnd sim.Time
+}
+
+const (
+	mmppHiMult  = 3.0
+	mmppLoMult  = 0.5
+	mmppHiDwell = 50 * sim.Millisecond
+	mmppLoDwell = 200 * sim.Millisecond
+)
+
+func (m *mmpp) Kind() string { return "mmpp" }
+
+func (m *mmpp) Next(now sim.Time, rng *sim.Rand) sim.Duration {
+	var total sim.Duration
+	for {
+		if now.Add(total) >= m.regimeEnd {
+			m.inHi = !m.inHi
+			dwell := mmppLoDwell
+			if m.inHi {
+				dwell = mmppHiDwell
+			}
+			// Exponential dwell keeps regime switches memoryless too.
+			m.regimeEnd = now.Add(total + sim.Duration(rng.ExpFloat64()*float64(dwell)))
+		}
+		mult := mmppLoMult
+		if m.inHi {
+			mult = mmppHiMult
+		}
+		gap := gapAt(m.rate*mult, rng)
+		if now.Add(total+gap) < m.regimeEnd {
+			return total + gap
+		}
+		// The candidate falls past the regime switch: discard it and
+		// redraw from the switch point — valid because the exponential is
+		// memoryless.
+		total = m.regimeEnd.Sub(now)
+	}
+}
+
+// diurnal modulates the rate sinusoidally — a compressed day/night cycle —
+// via Lewis-Shedler thinning: candidates are drawn at the peak rate and
+// accepted with probability rate(t)/peak, so accepted arrivals follow the
+// inhomogeneous intensity exactly.
+type diurnal struct{ rate float64 }
+
+const (
+	diurnalAmp    = 0.8
+	diurnalPeriod = 1 * sim.Second
+)
+
+func (d *diurnal) Kind() string { return "diurnal" }
+
+func (d *diurnal) Next(now sim.Time, rng *sim.Rand) sim.Duration {
+	peak := d.rate * (1 + diurnalAmp)
+	var total sim.Duration
+	for {
+		total += gapAt(peak, rng)
+		t := now.Add(total)
+		phase := 2 * math.Pi * float64(t%sim.Time(diurnalPeriod)) / float64(diurnalPeriod)
+		inst := d.rate * (1 + diurnalAmp*math.Sin(phase))
+		if rng.Float64()*peak < inst {
+			return total
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"oversub/internal/sim"
+)
+
+// drawGaps renders n inter-arrival gaps as a canonical string, advancing a
+// simulated clock the way the load generator does.
+func drawGaps(t *testing.T, kind string, rate float64, seed uint64, n int) string {
+	t.Helper()
+	proc, err := NewProcess(kind, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRand(seed)
+	var sb strings.Builder
+	now := sim.Time(0)
+	for i := 0; i < n; i++ {
+		g := proc.Next(now, rng)
+		if g <= 0 {
+			t.Fatalf("%s: gap %d is %v, want positive", kind, i, g)
+		}
+		now = now.Add(g)
+		fmt.Fprintf(&sb, "%d\n", int64(g))
+	}
+	return sb.String()
+}
+
+// TestArrivalDeterminism pins the seed contract: identical (kind, rate,
+// seed) produce byte-identical gap sequences.
+func TestArrivalDeterminism(t *testing.T) {
+	for _, kind := range ArrivalKinds() {
+		a := drawGaps(t, kind, 30000, 42, 4000)
+		b := drawGaps(t, kind, 30000, 42, 4000)
+		if a != b {
+			t.Errorf("%s: identical seeds produced different gap sequences", kind)
+		}
+		c := drawGaps(t, kind, 30000, 43, 4000)
+		if a == c {
+			t.Errorf("%s: different seeds produced identical gap sequences", kind)
+		}
+	}
+}
+
+// TestArrivalMeanRate checks each process realizes its configured mean
+// rate: the empirical rate over many arrivals must be within 15%. MMPP and
+// diurnal modulate instantaneous rate but are constructed to preserve the
+// long-run mean.
+func TestArrivalMeanRate(t *testing.T) {
+	const rate = 30000.0
+	const n = 60000
+	for _, kind := range ArrivalKinds() {
+		proc, err := NewProcess(kind, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRand(7)
+		now := sim.Time(0)
+		for i := 0; i < n; i++ {
+			now = now.Add(proc.Next(now, rng))
+		}
+		got := float64(n) / sim.Duration(now.Sub(0)).Seconds()
+		if got < rate*0.85 || got > rate*1.15 {
+			t.Errorf("%s: empirical rate %.0f/s outside 15%% of %.0f/s", kind, got, rate)
+		}
+	}
+}
+
+// TestArrivalBurstiness separates the processes: over coarse windows the
+// MMPP's per-window arrival counts must vary more than the Poisson's
+// (regime switching), and the diurnal process must show a sinusoidal
+// swing between its busiest and quietest windows.
+func TestArrivalBurstiness(t *testing.T) {
+	counts := func(kind string) []int {
+		proc, err := NewProcess(kind, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRand(3)
+		now := sim.Time(0)
+		end := sim.Time(0).Add(2 * sim.Second)
+		window := 100 * sim.Millisecond
+		var out []int
+		for i := 0; i < 20; i++ {
+			out = append(out, 0)
+		}
+		for now < end {
+			now = now.Add(proc.Next(now, rng))
+			idx := int(now.Sub(0) / window)
+			if idx < len(out) {
+				out[idx]++
+			}
+		}
+		return out
+	}
+	spread := func(c []int) float64 {
+		min, max := c[0], c[0]
+		for _, v := range c {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return float64(max-min) / float64(max)
+	}
+	poisson := spread(counts("poisson"))
+	mmpp := spread(counts("mmpp"))
+	if mmpp <= poisson {
+		t.Errorf("mmpp window spread %.2f not burstier than poisson %.2f", mmpp, poisson)
+	}
+	diurnal := spread(counts("diurnal"))
+	if diurnal <= poisson {
+		t.Errorf("diurnal window spread %.2f not larger than poisson %.2f", diurnal, poisson)
+	}
+}
+
+// TestNewProcessErrors pins the constructor's input validation.
+func TestNewProcessErrors(t *testing.T) {
+	if _, err := NewProcess("poisson", 0); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewProcess("lunar", 1000); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	p, err := NewProcess("", 1000)
+	if err != nil || p.Kind() != "poisson" {
+		t.Errorf("empty kind should default to poisson, got %v %v", p, err)
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+
+	"oversub/internal/sim"
+)
+
+// Dispatcher routes each arriving request to a machine. Implementations
+// see only load-balancer-visible signals — dispatch and completion
+// notifications — never simulator internals, mirroring what a real front
+// end could observe. All state updates happen at deterministic event
+// boundaries, so policy decisions are part of the reproducible run.
+type Dispatcher interface {
+	// Policy names the dispatch policy ("rr", "jsq", "ewma").
+	Policy() string
+	// Pick chooses the machine for the next request.
+	Pick() int
+	// Sent records that a request was dispatched to machine m.
+	Sent(m int)
+	// Done records that machine m completed a request with the given
+	// response latency.
+	Done(m int, lat sim.Duration)
+}
+
+// Policies lists the supported dispatch policies in definition order.
+func Policies() []string { return []string{"rr", "jsq", "ewma"} }
+
+// NewDispatcher builds the named policy over n machines.
+func NewDispatcher(policy string, n int) (Dispatcher, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: dispatcher needs at least one machine, got %d", n)
+	}
+	switch policy {
+	case "", "rr":
+		return &roundRobin{n: n}, nil
+	case "jsq", "least-loaded":
+		return &joinShortest{inflight: make([]int, n)}, nil
+	case "ewma", "latency":
+		return &ewmaDispatch{inflight: make([]int, n), ewma: make([]float64, n), seen: make([]bool, n)}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown dispatch policy %q (want rr, jsq, or ewma)", policy)
+}
+
+// roundRobin cycles through machines regardless of load — the oblivious
+// baseline every informed policy is judged against.
+type roundRobin struct {
+	n    int
+	next int
+}
+
+func (r *roundRobin) Policy() string { return "rr" }
+
+func (r *roundRobin) Pick() int {
+	m := r.next
+	r.next = (r.next + 1) % r.n
+	return m
+}
+
+func (r *roundRobin) Sent(int)               {}
+func (r *roundRobin) Done(int, sim.Duration) {}
+
+// joinShortest is join-shortest-queue: route to the machine with the
+// fewest requests in flight, breaking ties toward the lowest index so the
+// choice is deterministic.
+type joinShortest struct {
+	inflight []int
+}
+
+func (j *joinShortest) Policy() string { return "jsq" }
+
+func (j *joinShortest) Pick() int {
+	best := 0
+	for m := 1; m < len(j.inflight); m++ {
+		if j.inflight[m] < j.inflight[best] {
+			best = m
+		}
+	}
+	return best
+}
+
+func (j *joinShortest) Sent(m int)                 { j.inflight[m]++ }
+func (j *joinShortest) Done(m int, _ sim.Duration) { j.inflight[m]-- }
+
+// ewmaDispatch is latency-aware load balancing (the "peak EWMA" family):
+// each machine's score is its smoothed response latency scaled by
+// outstanding load, and the lowest score wins. Machines with no completed
+// response yet are explored first, in index order, so every machine gets
+// signal before the policy starts discriminating.
+type ewmaDispatch struct {
+	inflight []int
+	ewma     []float64 // microseconds
+	seen     []bool
+}
+
+const ewmaAlpha = 0.3
+
+func (e *ewmaDispatch) Policy() string { return "ewma" }
+
+func (e *ewmaDispatch) Pick() int {
+	for m := range e.seen {
+		if !e.seen[m] && e.inflight[m] == 0 {
+			return m
+		}
+	}
+	best, bestScore := 0, e.score(0)
+	for m := 1; m < len(e.ewma); m++ {
+		if s := e.score(m); s < bestScore {
+			best, bestScore = m, s
+		}
+	}
+	return best
+}
+
+func (e *ewmaDispatch) score(m int) float64 {
+	return e.ewma[m] * float64(e.inflight[m]+1)
+}
+
+func (e *ewmaDispatch) Sent(m int) { e.inflight[m]++ }
+
+func (e *ewmaDispatch) Done(m int, lat sim.Duration) {
+	e.inflight[m]--
+	us := lat.Micros()
+	if !e.seen[m] {
+		e.seen[m] = true
+		e.ewma[m] = us
+		return
+	}
+	e.ewma[m] = ewmaAlpha*us + (1-ewmaAlpha)*e.ewma[m]
+}

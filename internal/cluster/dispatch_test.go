@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+
+	"oversub/internal/sim"
+)
+
+func TestRoundRobinCycles(t *testing.T) {
+	d, err := NewDispatcher("rr", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for i, w := range want {
+		if got := d.Pick(); got != w {
+			t.Fatalf("pick %d = %d, want %d", i, got, w)
+		}
+		d.Sent(w)
+	}
+}
+
+func TestJSQPicksLeastLoaded(t *testing.T) {
+	d, err := NewDispatcher("jsq", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ties break toward the lowest index.
+	if got := d.Pick(); got != 0 {
+		t.Fatalf("empty tie pick = %d, want 0", got)
+	}
+	d.Sent(0)
+	d.Sent(0)
+	d.Sent(1)
+	if got := d.Pick(); got != 2 {
+		t.Fatalf("pick = %d, want idle machine 2", got)
+	}
+	d.Sent(2)
+	d.Sent(2)
+	d.Done(0, sim.Microsecond)
+	d.Done(0, sim.Microsecond)
+	if got := d.Pick(); got != 0 {
+		t.Fatalf("pick after drain = %d, want drained machine 0", got)
+	}
+}
+
+func TestEWMAExploresThenExploits(t *testing.T) {
+	d, err := NewDispatcher("ewma", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every machine is explored once, in index order, before any scoring.
+	for want := 0; want < 3; want++ {
+		if got := d.Pick(); got != want {
+			t.Fatalf("exploration pick = %d, want %d", got, want)
+		}
+		d.Sent(want)
+	}
+	// Machine 1 is fast, the others slow.
+	d.Done(0, 900*sim.Microsecond)
+	d.Done(1, 10*sim.Microsecond)
+	d.Done(2, 900*sim.Microsecond)
+	if got := d.Pick(); got != 1 {
+		t.Fatalf("exploitation pick = %d, want fast machine 1", got)
+	}
+	// Pile load onto 1 until its inflight-scaled score loses.
+	for i := 0; i < 200; i++ {
+		d.Sent(1)
+	}
+	if got := d.Pick(); got == 1 {
+		t.Fatal("ewma kept picking the overloaded machine")
+	}
+}
+
+func TestNewDispatcherErrors(t *testing.T) {
+	if _, err := NewDispatcher("rr", 0); err == nil {
+		t.Error("zero machines accepted")
+	}
+	if _, err := NewDispatcher("magic", 2); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	d, err := NewDispatcher("", 2)
+	if err != nil || d.Policy() != "rr" {
+		t.Errorf("empty policy should default to rr, got %v %v", d, err)
+	}
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"oversub/internal/sim"
+)
+
+// Schema identifies the fleet report JSON envelope. Consumers must check
+// it before parsing; it is bumped on any incompatible change.
+const Schema = "oversub-fleet/v1"
+
+// Cell is one (policy, variant, machine-count) grid point of a fleet
+// sweep. All fields are derived values in fixed units — no sim types, no
+// wall-clock — so the JSON encoding is byte-deterministic.
+type Cell struct {
+	Policy   string `json:"policy"`
+	Variant  string `json:"variant"`
+	Machines int    `json:"machines"`
+
+	OfferedQPS float64 `json:"offered_qps"`
+	GoodputQPS float64 `json:"goodput_qps"`
+
+	MeanUs float64 `json:"mean_us"`
+	P50Us  float64 `json:"p50_us"`
+	P99Us  float64 `json:"p99_us"`
+	P999Us float64 `json:"p999_us"`
+
+	UtilMeanPct   float64 `json:"util_mean_pct"`
+	UtilSpreadPct float64 `json:"util_spread_pct"`
+	Backlog       uint64  `json:"backlog"`
+	SLOMet        bool    `json:"slo_met"`
+}
+
+// SLORow reports, for one (policy, variant), the smallest swept machine
+// count that met the SLO. MinMachines 0 means no swept size met it.
+type SLORow struct {
+	Policy      string `json:"policy"`
+	Variant     string `json:"variant"`
+	MinMachines int    `json:"min_machines"`
+}
+
+// Report is the schema-versioned outcome of a fleet sweep.
+type Report struct {
+	SchemaName string  `json:"schema"`
+	Arrival    string  `json:"arrival"`
+	QPS        float64 `json:"qps"`
+	SLOUs      float64 `json:"slo_us"`
+	DurationMs float64 `json:"duration_ms"`
+	WarmupMs   float64 `json:"warmup_ms"`
+	Seed       uint64  `json:"seed"`
+
+	Cells []Cell   `json:"cells"`
+	SLO   []SLORow `json:"slo"`
+}
+
+// CellFor reduces one fleet run into its report cell.
+func CellFor(policy, variant string, res *FleetResult, slo sim.Duration) Cell {
+	return Cell{
+		Policy:        policy,
+		Variant:       variant,
+		Machines:      res.Machines,
+		OfferedQPS:    res.OfferedQPS,
+		GoodputQPS:    res.GoodputQPS,
+		MeanUs:        res.Mean.Micros(),
+		P50Us:         res.P50.Micros(),
+		P99Us:         res.P99.Micros(),
+		P999Us:        res.P999.Micros(),
+		UtilMeanPct:   res.UtilMeanPct,
+		UtilSpreadPct: res.UtilSpreadPct,
+		Backlog:       res.Backlog,
+		SLOMet:        res.SLOMet(slo),
+	}
+}
+
+// BuildSLO derives the min-machines summary from the cells, preserving
+// first-appearance order of (policy, variant) pairs.
+func BuildSLO(cells []Cell) []SLORow {
+	var rows []SLORow
+	find := func(policy, variant string) *SLORow {
+		for i := range rows {
+			if rows[i].Policy == policy && rows[i].Variant == variant {
+				return &rows[i]
+			}
+		}
+		rows = append(rows, SLORow{Policy: policy, Variant: variant})
+		return &rows[len(rows)-1]
+	}
+	for _, c := range cells {
+		row := find(c.Policy, c.Variant)
+		if c.SLOMet && (row.MinMachines == 0 || c.Machines < row.MinMachines) {
+			row.MinMachines = c.Machines
+		}
+	}
+	return rows
+}
+
+// Validate checks the report's schema and internal consistency.
+func (r *Report) Validate() error {
+	if r.SchemaName != Schema {
+		return fmt.Errorf("fleet report: schema %q, want %q", r.SchemaName, Schema)
+	}
+	if len(r.Cells) == 0 {
+		return fmt.Errorf("fleet report: no cells")
+	}
+	if r.QPS <= 0 {
+		return fmt.Errorf("fleet report: non-positive qps %g", r.QPS)
+	}
+	for i, c := range r.Cells {
+		if c.Policy == "" || c.Variant == "" {
+			return fmt.Errorf("fleet report: cell %d missing policy or variant", i)
+		}
+		if c.Machines <= 0 {
+			return fmt.Errorf("fleet report: cell %d has %d machines", i, c.Machines)
+		}
+		if c.GoodputQPS < 0 || c.P99Us < 0 {
+			return fmt.Errorf("fleet report: cell %d has negative measurements", i)
+		}
+		if c.P50Us > c.P99Us {
+			return fmt.Errorf("fleet report: cell %d p50 %.1fus exceeds p99 %.1fus", i, c.P50Us, c.P99Us)
+		}
+	}
+	for i, s := range r.SLO {
+		if s.Policy == "" || s.Variant == "" {
+			return fmt.Errorf("fleet report: slo row %d missing policy or variant", i)
+		}
+		if s.MinMachines < 0 {
+			return fmt.Errorf("fleet report: slo row %d negative min_machines", i)
+		}
+	}
+	return nil
+}
+
+// WriteJSON emits the schema-validated report as indented JSON. The
+// encoding contains no timestamps or host state: equal configurations
+// produce byte-identical files.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// WriteTable renders the sweep as a human-readable table: one block per
+// policy, rows variant x machines, then the min-machines SLO summary.
+func (r *Report) WriteTable(w io.Writer) error {
+	fmt.Fprintf(w, "fleet: qps=%.0f arrival=%s slo=p99<=%.0fus duration=%.0fms seed=%d\n",
+		r.QPS, r.Arrival, r.SLOUs, r.DurationMs, r.Seed)
+	fmt.Fprintf(w, "%-8s %-8s %8s %12s %10s %10s %10s %8s %9s %5s\n",
+		"policy", "variant", "machines", "goodput", "p50us", "p99us", "p999us", "util%", "backlog", "slo")
+	for _, c := range r.Cells {
+		met := "miss"
+		if c.SLOMet {
+			met = "MET"
+		}
+		if _, err := fmt.Fprintf(w, "%-8s %-8s %8d %12.0f %10.1f %10.1f %10.1f %8.0f %9d %5s\n",
+			c.Policy, c.Variant, c.Machines, c.GoodputQPS,
+			c.P50Us, c.P99Us, c.P999Us, c.UtilMeanPct, c.Backlog, met); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "\nminimum machines meeting the SLO (0 = unmet at every swept size):\n")
+	for _, s := range r.SLO {
+		if _, err := fmt.Fprintf(w, "%-8s %-8s %8d\n", s.Policy, s.Variant, s.MinMachines); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"oversub/internal/sim"
+)
+
+// TenantSpec describes one service class running on every machine of the
+// fleet. Each machine hosts an identical copy of each tenant (its workers,
+// its lock shards); the load generator splits fleet QPS across tenants by
+// Share and the dispatcher routes each tenant's arrivals across machines.
+type TenantSpec struct {
+	// Name labels the tenant in reports and thread names.
+	Name string
+	// Share is the tenant's fraction of the fleet's offered QPS. Shares
+	// are normalized over the tenant set, so they need not sum to 1.
+	Share float64
+	// Workers is the tenant's event-loop thread count per machine.
+	Workers int
+	// Shards is the tenant's lock-shard count (0 = no locking).
+	Shards int
+	// SpinLocks selects TTAS spinlocks for the shards instead of futex
+	// mutexes: such a tenant busy-waits under contention, so it responds
+	// to BWD rather than VB.
+	SpinLocks bool
+	// Work is the mean request body time inside the critical section.
+	Work sim.Duration
+	// WorkJitter is the uniform +-fraction applied per request.
+	WorkJitter float64
+	// HeavyTail is the probability a request costs 10x Work — the rare
+	// slow request that dominates the tail.
+	HeavyTail float64
+}
+
+// workFor draws one request's body time from the tenant's distribution.
+func (ts *TenantSpec) workFor(rng *sim.Rand) sim.Duration {
+	w := rng.Jitter(ts.Work, ts.WorkJitter)
+	if ts.HeavyTail > 0 && rng.Float64() < ts.HeavyTail {
+		w *= 10
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// StandardMix returns the default heterogeneous tenant set: a cache tier
+// (many cheap requests, futex-sharded — VB-sensitive), a web tier
+// (mid-cost requests with a heavy tail), and an analytics tier whose
+// spinlock synchronization busy-waits under oversubscription —
+// BWD-sensitive. On the default 4-core machine the mix runs 16 workers:
+// 4x thread oversubscription, the regime the paper targets.
+func StandardMix() []TenantSpec {
+	return []TenantSpec{
+		{
+			Name:       "cache",
+			Share:      0.50,
+			Workers:    6,
+			Shards:     4,
+			Work:       2 * sim.Microsecond,
+			WorkJitter: 0.3,
+		},
+		{
+			Name:       "web",
+			Share:      0.35,
+			Workers:    6,
+			Shards:     2,
+			Work:       15 * sim.Microsecond,
+			WorkJitter: 0.5,
+			HeavyTail:  0.02,
+		},
+		{
+			Name:       "analytics",
+			Share:      0.15,
+			Workers:    4,
+			Shards:     2,
+			SpinLocks:  true,
+			Work:       40 * sim.Microsecond,
+			WorkJitter: 0.3,
+		},
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+
+	"oversub/internal/sim"
+)
+
+// Digest bucket geometry: values below 2^digestSubBits land in exact
+// unit-width buckets; above that, each power-of-two octave is split into
+// 2^digestSubBits log-spaced sub-buckets, so the relative bucket width is
+// bounded by 1/2^digestSubBits (12.5%) everywhere.
+const (
+	digestSubBits = 3
+	digestSub     = 1 << digestSubBits
+	// digestBuckets covers every non-negative int64 duration: digestSub
+	// exact buckets plus digestSub sub-buckets for each of the remaining
+	// 63-digestSubBits octaves.
+	digestBuckets = digestSub + (63-digestSubBits)*digestSub
+)
+
+// Digest is a fixed-bucket logarithmic latency histogram, the streaming
+// counterpart of Latency for fleet-scale aggregation: it answers
+// percentiles without storing samples, and two digests merge by bucketwise
+// addition, so per-machine latency series combine into a fleet series
+// deterministically — merge order cannot change any answer.
+//
+// Each bucket tracks both a count and the exact sum of its samples, so a
+// percentile returns the mean of the samples that landed in the selected
+// bucket: a value that really is within one bucket width (<= 12.5%
+// relative error) of the exact order statistic, and that is identical no
+// matter how the samples were partitioned across merged digests.
+//
+// The zero Digest is ready to use.
+type Digest struct {
+	counts [digestBuckets]uint64
+	sums   [digestBuckets]int64
+	n      uint64
+	sum    sim.Duration
+	min    sim.Duration
+	max    sim.Duration
+}
+
+// digestIndex maps a duration to its bucket. Negative durations clamp to
+// bucket 0.
+func digestIndex(d sim.Duration) int {
+	v := uint64(d)
+	if d < 0 {
+		return 0
+	}
+	if v < digestSub {
+		return int(v)
+	}
+	exp := uint(bits.Len64(v)) - 1 - digestSubBits
+	// v>>exp is in [digestSub, 2*digestSub), so indices are contiguous
+	// after the exact buckets.
+	return int(uint64(exp)<<digestSubBits + v>>exp)
+}
+
+// Add records one sample.
+func (g *Digest) Add(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := digestIndex(d)
+	g.counts[i]++
+	g.sums[i] += int64(d)
+	if g.n == 0 || d < g.min {
+		g.min = d
+	}
+	if g.n == 0 || d > g.max {
+		g.max = d
+	}
+	g.n++
+	g.sum += d
+}
+
+// Observe records one sample (the Recorder spelling of Add).
+func (g *Digest) Observe(d sim.Duration) { g.Add(d) }
+
+// Merge folds other into g. Merging is commutative and associative, so
+// any grouping of per-machine digests yields the same fleet digest.
+func (g *Digest) Merge(other *Digest) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	for i := range g.counts {
+		g.counts[i] += other.counts[i]
+		g.sums[i] += other.sums[i]
+	}
+	if g.n == 0 || other.min < g.min {
+		g.min = other.min
+	}
+	if g.n == 0 || other.max > g.max {
+		g.max = other.max
+	}
+	g.n += other.n
+	g.sum += other.sum
+}
+
+// Count returns the number of samples recorded.
+func (g *Digest) Count() uint64 { return g.n }
+
+// Sum returns the exact total of all samples.
+func (g *Digest) Sum() sim.Duration { return g.sum }
+
+// Mean returns the exact average sample, or 0 with no samples.
+func (g *Digest) Mean() sim.Duration {
+	if g.n == 0 {
+		return 0
+	}
+	return g.sum / sim.Duration(g.n)
+}
+
+// Min returns the exact smallest sample, or 0 with no samples.
+func (g *Digest) Min() sim.Duration { return g.min }
+
+// Max returns the exact largest sample, or 0 with no samples.
+func (g *Digest) Max() sim.Duration { return g.max }
+
+// Percentile returns the p-th percentile by the nearest-rank method over
+// buckets, reporting the mean of the samples in the selected bucket.
+// Clamping follows Latency.Percentile: p <= 0 selects rank 1, p > 100
+// selects rank n. With no samples it returns 0.
+func (g *Digest) Percentile(p float64) sim.Duration {
+	if g.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(g.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > g.n {
+		rank = g.n
+	}
+	var seen uint64
+	for i, c := range g.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			return sim.Duration(g.sums[i] / int64(c))
+		}
+	}
+	return g.max // unreachable: counts sum to n
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"oversub/internal/sim"
+)
+
+// TestDigestExactSmallValues pins the exact-bucket regime: durations below
+// 2^digestSubBits are their own bucket, so percentiles are exact.
+func TestDigestExactSmallValues(t *testing.T) {
+	var g Digest
+	for d := sim.Duration(0); d < digestSub; d++ {
+		g.Add(d)
+	}
+	if got := g.Percentile(50); got != 3 {
+		t.Errorf("p50 of 0..7 = %d, want 3", got)
+	}
+	if g.Min() != 0 || g.Max() != digestSub-1 {
+		t.Errorf("min/max = %d/%d, want 0/%d", g.Min(), g.Max(), digestSub-1)
+	}
+}
+
+// TestDigestRelativeError checks the headline accuracy contract against
+// the exact Latency implementation: every reported percentile is within
+// one bucket width (12.5% relative) of the exact order statistic.
+func TestDigestRelativeError(t *testing.T) {
+	rng := sim.NewRand(42)
+	var g Digest
+	var exact Latency
+	for i := 0; i < 20000; i++ {
+		// Latencies spanning ~5 orders of magnitude, like a fleet tail.
+		d := sim.Duration(float64(sim.Microsecond) * math.Exp(rng.NormFloat64()*2))
+		g.Add(d)
+		exact.Add(d)
+	}
+	for _, p := range []float64{1, 25, 50, 90, 99, 99.9, 100} {
+		want := exact.Percentile(p)
+		got := g.Percentile(p)
+		if want == 0 {
+			continue
+		}
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 0.125 {
+			t.Errorf("p%.1f: digest %v vs exact %v (rel err %.3f > 0.125)", p, got, want, rel)
+		}
+	}
+	if g.Mean() != exact.Mean() {
+		t.Errorf("mean: digest %v vs exact %v (must be exact)", g.Mean(), exact.Mean())
+	}
+	if g.Min() != exact.Min() || g.Max() != exact.Max() {
+		t.Errorf("min/max: digest %v/%v vs exact %v/%v", g.Min(), g.Max(), exact.Min(), exact.Max())
+	}
+}
+
+// TestDigestMergeDeterminism proves the merge contract: splitting a sample
+// stream across digests and merging them back — in any grouping — is
+// bit-identical to one digest that saw everything.
+func TestDigestMergeDeterminism(t *testing.T) {
+	rng := sim.NewRand(7)
+	samples := make([]sim.Duration, 5000)
+	for i := range samples {
+		samples[i] = sim.Duration(rng.Intn(10_000_000))
+	}
+	var whole Digest
+	for _, d := range samples {
+		whole.Add(d)
+	}
+	parts := make([]Digest, 4)
+	for i, d := range samples {
+		parts[i%4].Add(d)
+	}
+	// Two different merge orders.
+	var m1, m2 Digest
+	for i := range parts {
+		m1.Merge(&parts[i])
+	}
+	for i := len(parts) - 1; i >= 0; i-- {
+		m2.Merge(&parts[i])
+	}
+	if !reflect.DeepEqual(&whole, &m1) {
+		t.Fatal("merged digest differs from whole-stream digest")
+	}
+	if !reflect.DeepEqual(&m1, &m2) {
+		t.Fatal("merge order changed the digest")
+	}
+}
+
+// TestDigestClamping pins the Latency-compatible clamping behavior.
+func TestDigestClamping(t *testing.T) {
+	var g Digest
+	if g.Percentile(99) != 0 {
+		t.Error("empty digest percentile != 0")
+	}
+	g.Add(5 * sim.Microsecond)
+	for _, p := range []float64{-3, 0, 50, 100, 250} {
+		if got := g.Percentile(p); got != 5*sim.Microsecond {
+			t.Errorf("single-sample p%.0f = %v, want 5us", p, got)
+		}
+	}
+	g.Add(-sim.Microsecond) // negative samples clamp to 0
+	if g.Min() != 0 {
+		t.Errorf("negative sample should clamp to 0, min = %v", g.Min())
+	}
+}
+
+// TestDigestIndexMonotone sweeps the bucket mapping across octave
+// boundaries: indices never decrease and stay in range.
+func TestDigestIndexMonotone(t *testing.T) {
+	last := -1
+	for _, v := range []sim.Duration{0, 1, 7, 8, 9, 15, 16, 17, 100, 1000, 1 << 20, 1 << 40, math.MaxInt64} {
+		i := digestIndex(v)
+		if i < last {
+			t.Fatalf("digestIndex(%d) = %d < previous %d", v, i, last)
+		}
+		if i < 0 || i >= digestBuckets {
+			t.Fatalf("digestIndex(%d) = %d out of range [0,%d)", v, i, digestBuckets)
+		}
+		last = i
+	}
+}

@@ -10,6 +10,14 @@ import (
 	"oversub/internal/sim"
 )
 
+// Recorder consumes latency samples. Latency (exact, sample-storing) and
+// Digest (streaming, mergeable) both implement it, so accounting code can
+// take either: exact order statistics for one run, bounded memory for a
+// fleet.
+type Recorder interface {
+	Observe(d sim.Duration)
+}
+
 // Latency accumulates duration samples and answers exact order statistics.
 type Latency struct {
 	samples []sim.Duration
@@ -23,6 +31,9 @@ func (l *Latency) Add(d sim.Duration) {
 	l.sorted = false
 	l.sum += d
 }
+
+// Observe records one sample (the Recorder spelling of Add).
+func (l *Latency) Observe(d sim.Duration) { l.Add(d) }
 
 // Count returns the number of samples.
 func (l *Latency) Count() int { return len(l.samples) }

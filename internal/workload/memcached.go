@@ -1,14 +1,10 @@
 package workload
 
 import (
-	"fmt"
-
-	"oversub/internal/epoll"
 	"oversub/internal/futex"
 	"oversub/internal/locks"
 	"oversub/internal/sched"
 	"oversub/internal/sim"
-	"oversub/internal/stats"
 )
 
 // MemcachedConfig describes a memcached experiment (Figure 12).
@@ -46,14 +42,13 @@ type MemcachedResult struct {
 	Events   uint64
 }
 
-// request is one in-flight client request. The closed loop keeps exactly
-// one request in flight per connection, so each connection owns a single
-// record for the whole run instead of allocating one per operation.
+// mcRequest is one in-flight client request: the service-layer Request
+// plus the client backpointer the closure-free trampolines need. The
+// closed loop keeps exactly one request in flight per connection, so each
+// connection owns a single record for the whole run.
 type mcRequest struct {
-	arrival sim.Time
-	isGet   bool
-	conn    int
-	cl      *mcClient
+	Request
+	cl *mcClient
 }
 
 // mcClient is the mutilate-style closed-loop client: the per-connection
@@ -62,10 +57,12 @@ type mcRequest struct {
 type mcClient struct {
 	eng      *sim.Engine
 	rng      *sim.Rand
-	polls    []*epoll.Poll
+	svc      *Service
 	reqs     []*mcRequest
 	rtt      sim.Duration
 	getRatio float64
+	getWork  sim.Duration
+	setWork  sim.Duration
 	issued   int
 	max      int
 }
@@ -76,16 +73,17 @@ func (cl *mcClient) issue(conn int) {
 	}
 	cl.issued++
 	req := cl.reqs[conn]
-	req.isGet = cl.rng.Float64() < cl.getRatio
+	req.Work = cl.setWork
+	if cl.rng.Float64() < cl.getRatio {
+		req.Work = cl.getWork
+	}
 	// Request hits the NIC after half an RTT.
 	cl.eng.AfterCall(sim.Duration(cl.rng.Jitter(cl.rtt/2, 0.2)), mcArrive, req, 0, 0)
 }
 
 func mcArrive(arg any, _, _ uint64) {
 	req := arg.(*mcRequest)
-	cl := req.cl
-	req.arrival = cl.eng.Now()
-	cl.polls[req.conn%len(cl.polls)].Post(req)
+	req.cl.svc.Post(&req.Request)
 }
 
 func mcReissue(arg any, conn, _ uint64) {
@@ -97,7 +95,8 @@ func mcReissue(arg any, conn, _ uint64) {
 // hash-table access through futex-based mutexes, stressed by a
 // mutilate-style closed-loop client. Under vanilla oversubscription the
 // sleep/wakeup path inflates tail latency ~8x; virtual blocking in epoll
-// and futex recovers it.
+// and futex recovers it. The server side is a workload.Service — the same
+// abstraction cluster tenants run under open-loop load.
 func Memcached(cfg MemcachedConfig) MemcachedResult {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 4
@@ -136,20 +135,11 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 	if nShards <= 0 {
 		nShards = 4
 	}
-	shards := make([]*locks.Mutex, nShards)
+	shards := make([]locks.Locker, nShards)
 	for i := range shards {
 		shards[i] = locks.NewMutex(tbl)
 	}
 
-	// One event loop per worker, as in memcached's thread-per-event-loop
-	// design; connections are assigned round-robin.
-	polls := make([]*epoll.Poll, cfg.Workers)
-	for i := range polls {
-		polls[i] = epoll.New(k)
-	}
-
-	var lat stats.Latency
-	served := 0
 	rng := eng.Rand().Split()
 
 	// Service time components (single-request path, calibrated to a
@@ -164,57 +154,37 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 	cl := &mcClient{
 		eng:      eng,
 		rng:      rng,
-		polls:    polls,
 		rtt:      rtt,
 		getRatio: cfg.GetRatio,
+		getWork:  getCopy,
+		setWork:  setStore,
 		max:      cfg.Requests,
 		reqs:     make([]*mcRequest, cfg.Conns),
 	}
 	for c := range cl.reqs {
-		cl.reqs[c] = &mcRequest{conn: c, cl: cl}
+		cl.reqs[c] = &mcRequest{Request: Request{Lane: c}, cl: cl}
 	}
 
-	complete := func(req *mcRequest) {
-		lat.Add(eng.Now().Sub(req.arrival))
-		served++
-		if served == cfg.Requests {
-			return
-		}
-		// Closed loop: the connection issues its next request after the
-		// response travels back.
-		eng.AfterCall(sim.Duration(rng.Jitter(rtt/2, 0.2)), mcReissue, cl, uint64(req.conn), 0)
-	}
-
-	for w := 0; w < cfg.Workers; w++ {
-		w := w
-		k.Spawn(fmt.Sprintf("worker-%d", w), func(t *sched.Thread) {
-			for served < cfg.Requests {
-				ev := polls[w].Wait(t)
-				req, ok := ev.(*mcRequest)
-				if !ok {
-					break // shutdown sentinel
-				}
-				t.Run(parse)
-				shard := shards[rng.Intn(len(shards))]
-				shard.Lock(t)
-				t.Run(hashLookup)
-				if req.isGet {
-					t.Run(getCopy)
-				} else {
-					t.Run(setStore)
-				}
-				shard.Unlock(t)
-				t.Run(netSend)
-				complete(req)
+	var svc *Service
+	svc = NewService(k, ServiceConfig{
+		Name:    "worker",
+		Workers: cfg.Workers,
+		Shards:  shards,
+		Parse:   parse,
+		Lookup:  hashLookup,
+		Send:    netSend,
+		RNG:     rng, // shared with the client: shard draws interleave with issue draws
+		Stop:    func() bool { return int(svc.Done()) >= cfg.Requests },
+		OnDone: func(req *Request, _ sim.Duration) {
+			if int(svc.Done()) == cfg.Requests {
+				return
 			}
-			// Propagate shutdown to every worker still waiting.
-			for _, p := range polls {
-				for p.WaitersCount() > 0 {
-					p.Post(nil)
-				}
-			}
-		})
-	}
+			// Closed loop: the connection issues its next request after
+			// the response travels back.
+			eng.AfterCall(sim.Duration(rng.Jitter(rtt/2, 0.2)), mcReissue, cl, uint64(req.Lane), 0)
+		},
+	})
+	cl.svc = svc
 
 	start := eng.Now()
 	for c := 0; c < cfg.Conns; c++ {
@@ -225,8 +195,9 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 	}
 	elapsed := eng.Now().Sub(start)
 
+	lat := svc.Latency()
 	res := MemcachedResult{
-		Served:   served,
+		Served:   int(svc.Done()),
 		Mean:     lat.Mean(),
 		P95:      lat.Percentile(95),
 		P99:      lat.Percentile(99),
@@ -235,7 +206,7 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 		Events:   eng.Executed(),
 	}
 	if elapsed > 0 {
-		res.ThroughputOpsSec = float64(served) / elapsed.Seconds()
+		res.ThroughputOpsSec = float64(res.Served) / elapsed.Seconds()
 	}
 	return res
 }

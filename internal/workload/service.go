@@ -1,0 +1,189 @@
+package workload
+
+import (
+	"fmt"
+
+	"oversub/internal/epoll"
+	"oversub/internal/locks"
+	"oversub/internal/sched"
+	"oversub/internal/sim"
+	"oversub/internal/stats"
+)
+
+// Request is one in-flight service request. The closed-loop memcached
+// client keeps one Request per connection for the whole run; the open-loop
+// cluster load generator allocates one per arrival.
+type Request struct {
+	// Arrival is stamped by Service.Post; latency is measured from it.
+	Arrival sim.Time
+	// Work is the request's class-dependent body time (e.g. value copy for
+	// a GET, store for a SET), decided by the client at issue time.
+	Work sim.Duration
+	// Lane selects the worker event loop (connection affinity): requests
+	// with the same lane land on the same epoll instance.
+	Lane int
+	// Machine and Tenant are cluster-level routing bookkeeping; the
+	// single-machine client leaves them zero.
+	Machine int
+	Tenant  int
+	// Skip marks a warmup request: it is served normally but excluded from
+	// the service's latency accounting.
+	Skip bool
+}
+
+// ServiceConfig assembles a Service.
+type ServiceConfig struct {
+	// Name prefixes worker thread names ("<name>-<i>").
+	Name string
+	// Workers is the number of event-loop threads (default 1).
+	Workers int
+	// Shards are the critical-section locks guarding shared state; each
+	// request acquires one uniformly at random. Futex mutexes model
+	// memcached's item locks (VB-sensitive); spinlocks model busy-wait
+	// synchronization (BWD-sensitive). Empty means no locking.
+	Shards []locks.Locker
+	// Parse, Lookup, and Send are the per-request pipeline costs outside
+	// (Parse, Send) and inside (Lookup) the critical section.
+	Parse, Lookup, Send sim.Duration
+	// RNG draws the shard choice per request. Callers that interleave
+	// their own draws with the service's (the closed-loop memcached
+	// client) pass their shared source so the draw sequence is part of
+	// the run's definition.
+	RNG *sim.Rand
+	// Latency receives one sample per recorded completion. Nil installs a
+	// private exact stats.Latency (read it back via Service.Latency); a
+	// fleet passes a *stats.Digest so no samples are stored.
+	Latency stats.Recorder
+	// Stop, when non-nil, is polled by each worker before blocking: once
+	// true, workers exit and drain their siblings. Closed-loop runs stop
+	// after N requests; open-loop runs leave it nil and simply stop the
+	// clock.
+	Stop func() bool
+	// OnDone is called after each completion is accounted, with the
+	// request and its measured latency.
+	OnDone func(req *Request, lat sim.Duration)
+}
+
+// Service is the reusable request-serving abstraction extracted from the
+// memcached model: a set of worker threads blocking in epoll event loops,
+// a sharded critical section, the parse/lookup/send cost pipeline, and
+// request latency accounting. The memcached experiment instantiates one
+// with a closed-loop client; cluster tenants instantiate one per machine
+// under an open-loop load generator.
+type Service struct {
+	k      *sched.Kernel
+	polls  []*epoll.Poll
+	shards []locks.Locker
+	rng    *sim.Rand
+
+	parse, lookup, send sim.Duration
+
+	rec    stats.Recorder
+	lat    *stats.Latency // non-nil only when rec is the private default
+	stop   func() bool
+	onDone func(*Request, sim.Duration)
+
+	done uint64
+}
+
+// NewService builds the service on kernel k and spawns its workers.
+func NewService(k *sched.Kernel, cfg ServiceConfig) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.RNG == nil {
+		cfg.RNG = k.Engine().Rand().Split()
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	s := &Service{
+		k:      k,
+		shards: cfg.Shards,
+		rng:    cfg.RNG,
+		parse:  cfg.Parse,
+		lookup: cfg.Lookup,
+		send:   cfg.Send,
+		rec:    cfg.Latency,
+		stop:   cfg.Stop,
+		onDone: cfg.OnDone,
+	}
+	if s.rec == nil {
+		s.lat = &stats.Latency{}
+		s.rec = s.lat
+	}
+	s.polls = make([]*epoll.Poll, cfg.Workers)
+	for i := range s.polls {
+		s.polls[i] = epoll.New(k)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		k.Spawn(fmt.Sprintf("%s-%d", cfg.Name, w), func(t *sched.Thread) { s.worker(t, w) })
+	}
+	return s
+}
+
+// Post stamps the request's arrival time and delivers it to its lane's
+// event loop from interrupt context (a NIC receive).
+func (s *Service) Post(req *Request) {
+	req.Arrival = s.k.Now()
+	s.polls[req.Lane%len(s.polls)].Post(req)
+}
+
+// Done returns the number of requests completed so far.
+func (s *Service) Done() uint64 { return s.done }
+
+// Latency returns the service's private exact accounting, or nil when the
+// caller supplied its own Recorder.
+func (s *Service) Latency() *stats.Latency { return s.lat }
+
+// Workers returns the number of event-loop threads.
+func (s *Service) Workers() int { return len(s.polls) }
+
+// worker is one event loop: block for a request, parse it, serialize
+// through a shard lock, execute the request body, send the response, and
+// account the completion.
+func (s *Service) worker(t *sched.Thread, w int) {
+	for s.stop == nil || !s.stop() {
+		ev := s.polls[w].Wait(t)
+		req, ok := ev.(*Request)
+		if !ok {
+			break // shutdown sentinel
+		}
+		t.Run(s.parse)
+		if len(s.shards) > 0 {
+			shard := s.shards[s.rng.Intn(len(s.shards))]
+			shard.Lock(t)
+			t.Run(s.lookup)
+			t.Run(req.Work)
+			shard.Unlock(t)
+		} else {
+			t.Run(s.lookup)
+			t.Run(req.Work)
+		}
+		t.Run(s.send)
+		s.finish(req)
+	}
+	s.drain()
+}
+
+// finish accounts one completion and notifies the owner.
+func (s *Service) finish(req *Request) {
+	lat := s.k.Now().Sub(req.Arrival)
+	if !req.Skip {
+		s.rec.Observe(lat)
+	}
+	s.done++
+	if s.onDone != nil {
+		s.onDone(req, lat)
+	}
+}
+
+// drain propagates shutdown to every worker still blocked in Wait.
+func (s *Service) drain() {
+	for _, p := range s.polls {
+		for p.WaitersCount() > 0 {
+			p.Post(nil)
+		}
+	}
+}
