@@ -18,12 +18,81 @@ fi
 echo "== go vet =="
 go vet ./...
 
+detdir=$(mktemp -d)
+trap 'rm -rf "$detdir"' EXIT
+
 echo "== simlint =="
 # The determinism contract, machine-checked: no wall-clock reads, global
 # math/rand, map iteration, multi-case selects, or goroutines in the
 # simulated kernel; no time-domain mixing, mixed atomics, or unthreaded
-# engine seeds. See DESIGN.md "Determinism rules".
-go run ./cmd/simlint ./...
+# engine seeds; no shard-unsafe package state, tainted RNG seeds,
+# allocations on //simlint:hotpath functions, inexhaustive enum switches,
+# or inline schema tags. See DESIGN.md "Determinism rules" and "Analyzer
+# architecture". The tree must be clean with every pass enabled and no
+# baseline; the simlint-diag/v1 artifact records that emptiness.
+go build -o "$detdir/simlint" ./cmd/simlint
+cold_ns=$(date +%s%N)
+"$detdir/simlint" -json "$detdir/simlint-diag.json" -cache "$detdir/simlint-cache" ./... \
+    2>"$detdir/simlint-cold.log"
+cold_ms=$((($(date +%s%N) - cold_ns) / 1000000))
+if ! grep -q '"schema": "simlint-diag/v1"' "$detdir/simlint-diag.json"; then
+    echo "simlint gate FAILED: artifact missing simlint-diag/v1 schema tag" >&2
+    exit 1
+fi
+if ! grep -q '"count": 0' "$detdir/simlint-diag.json"; then
+    echo "simlint gate FAILED: artifact reports findings on a clean exit" >&2
+    cat "$detdir/simlint-diag.json" >&2
+    exit 1
+fi
+# An unchanged rerun must be served entirely from the content-hash cache:
+# no parsing, no type checking, just a replay of the recorded diagnostics.
+warm_ns=$(date +%s%N)
+"$detdir/simlint" -cache "$detdir/simlint-cache" ./... 2>"$detdir/simlint-warm.log"
+warm_ms=$((($(date +%s%N) - warm_ns) / 1000000))
+if ! grep -q 'module-hit=true' "$detdir/simlint-warm.log"; then
+    echo "simlint gate FAILED: warm rerun missed the module cache" >&2
+    cat "$detdir/simlint-warm.log" >&2
+    exit 1
+fi
+echo "clean; cold ${cold_ms}ms, warm ${warm_ms}ms (module cache hit)."
+
+# -fix idempotency smoke, against a throwaway module so the gate never
+# edits the repo: the suggested fix must lint clean, and a second -fix
+# pass must leave the file byte-identical.
+mkdir -p "$detdir/fixmod"
+printf 'module fixmod\n\ngo 1.21\n' >"$detdir/fixmod/go.mod"
+cat >"$detdir/fixmod/enum.go" <<'EOF'
+package fixmod
+
+type kind int
+
+const (
+	kA kind = iota
+	kB
+)
+
+func describe(k kind) int {
+	switch k {
+	case kA:
+		return 1
+	}
+	return 0
+}
+EOF
+(cd "$detdir/fixmod" && "$detdir/simlint" -fix ./...) >/dev/null 2>&1
+if ! grep -q 'case kB:' "$detdir/fixmod/enum.go"; then
+    echo "simlint gate FAILED: -fix did not insert the missing enum case" >&2
+    cat "$detdir/fixmod/enum.go" >&2
+    exit 1
+fi
+cp "$detdir/fixmod/enum.go" "$detdir/fixmod/enum.go.once"
+(cd "$detdir/fixmod" && "$detdir/simlint" -fix ./...) >/dev/null 2>&1
+if ! cmp -s "$detdir/fixmod/enum.go" "$detdir/fixmod/enum.go.once"; then
+    echo "simlint gate FAILED: second -fix pass was not a no-op" >&2
+    diff "$detdir/fixmod/enum.go.once" "$detdir/fixmod/enum.go" >&2 || true
+    exit 1
+fi
+echo "-fix resolves its own findings and is idempotent."
 
 echo "== go build =="
 go build ./...
@@ -37,8 +106,6 @@ go test -race ./...
 echo "== determinism smoke: parallel == serial =="
 # The same quick experiments, serial (-jobs 1) and parallel (-jobs 8),
 # bypassing the cache; the rendered outputs must be byte-identical.
-detdir=$(mktemp -d)
-trap 'rm -rf "$detdir"' EXIT
 go build -o "$detdir/hpdc21" ./cmd/hpdc21
 "$detdir/hpdc21" -quick -nocache -jobs 1 fig2 fig9 tab2 >"$detdir/serial.txt" 2>/dev/null
 "$detdir/hpdc21" -quick -nocache -jobs 8 fig2 fig9 tab2 >"$detdir/parallel.txt" 2>/dev/null

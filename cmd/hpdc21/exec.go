@@ -9,6 +9,7 @@ import (
 
 	"oversub"
 	"oversub/internal/runner"
+	"oversub/internal/schema"
 	"oversub/internal/workload"
 )
 
@@ -30,7 +31,7 @@ type env struct {
 // topology/config (machine count, machine features, tenant mix, policy,
 // arrival process), and the memcached server moved onto the shared
 // workload.Service path.
-const cacheSchema = "hpdc21/v3"
+const cacheSchema = schema.HPDC21CacheV3
 
 // fingerprint keys one run from everything that determines its outcome:
 // the schema version, the run kind, the kernel cost table (a recalibration

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	simlint [-rules walltime,maprange,...] [./...]
+//	simlint [flags] [./...]
 //
 // simlint always analyzes the whole enclosing module (found by walking up
 // from the working directory to go.mod); the package pattern argument is
@@ -16,11 +16,22 @@
 // and are suppressed by an audited annotation on the same line or the
 // line above:
 //
-//	//simlint:allow <rule>[,<rule>...] [-- <reason>]
+//	//simlint:allow <rule>[,<rule>...] -- <reason>
+//
+// Flags:
+//
+//	-rules walltime,maprange,...  report only these rules
+//	-list                         list the available rules and exit
+//	-json FILE                    also write diagnostics as a simlint-diag/v1
+//	                              artifact (FILE of "-" means stdout)
+//	-fix                          apply machine-applicable fixes, then re-lint
+//	-baseline FILE                suppress findings recorded in FILE
+//	-write-baseline FILE          record current findings into FILE and exit 0
+//	-cache DIR                    reuse per-package results keyed by content hash
 //
 // Exit status: 0 clean, 1 diagnostics reported, 2 the tree failed to
-// load. The rules are documented in DESIGN.md ("Determinism rules") and
-// implemented in internal/analysis.
+// load. The rules are documented in DESIGN.md ("Determinism rules" and
+// "Analyzer architecture") and implemented in internal/analysis.
 package main
 
 import (
@@ -34,9 +45,18 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		rules = flag.String("rules", "", "comma-separated rule subset to report (default: all)")
-		list  = flag.Bool("list", false, "list the available rules and exit")
+		rules         = flag.String("rules", "", "comma-separated rule subset to report (default: all)")
+		list          = flag.Bool("list", false, "list the available rules and exit")
+		jsonOut       = flag.String("json", "", "write diagnostics as a JSON artifact to this file (\"-\" = stdout)")
+		fix           = flag.Bool("fix", false, "apply machine-applicable fixes, then re-lint")
+		baseline      = flag.String("baseline", "", "suppress findings recorded in this baseline file")
+		writeBaseline = flag.String("write-baseline", "", "record current findings into this baseline file and exit")
+		cacheDir      = flag.String("cache", "", "cache per-package results in this directory, keyed by content hash")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: simlint [flags] [./...]\n\nflags:\n")
@@ -48,39 +68,114 @@ func main() {
 		for _, a := range analysis.Analyzers() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
 	root, err := moduleRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
-		os.Exit(2)
+		return fail(err)
 	}
-	diags, err := analysis.LintModule(root)
+	cfg := analysis.Config{Root: root, CacheDir: *cacheDir}
+	res, err := analysis.Lint(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
-		os.Exit(2)
+		return fail(err)
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "simlint: cache module-hit=%v pkg-hits=%d\n", res.ModuleHit, res.PkgHits)
+	}
+	diags := filterRules(res.Diags, *rules)
+
+	if *writeBaseline != "" {
+		if err := writeArtifact(*writeBaseline, root, diags); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "simlint: wrote baseline with %d finding(s) to %s\n", len(diags), *writeBaseline)
+		return 0
 	}
 
-	keep := ruleFilter(*rules)
-	n := 0
-	for _, d := range diags {
-		if !keep(d.Rule) {
-			continue
+	if *baseline != "" {
+		base, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			return fail(err)
 		}
+		diags = analysis.FilterBaseline(diags, base)
+	}
+
+	if *fix {
+		changed, skipped, err := analysis.ApplyFixes(root, diags)
+		if err != nil {
+			return fail(err)
+		}
+		for _, f := range changed {
+			fmt.Fprintf(os.Stderr, "simlint: fixed %s\n", f)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "simlint: %d overlapping edit(s) skipped; re-run -fix after review\n", skipped)
+		}
+		if len(changed) > 0 {
+			// Re-lint from scratch: fixes may have resolved (or in a
+			// pathological edit, shifted) other findings.
+			res, err = analysis.Lint(cfg)
+			if err != nil {
+				return fail(err)
+			}
+			diags = filterRules(res.Diags, *rules)
+			if *baseline != "" {
+				base, err := analysis.LoadBaseline(*baseline)
+				if err != nil {
+					return fail(err)
+				}
+				diags = analysis.FilterBaseline(diags, base)
+			}
+		}
+	}
+
+	if *jsonOut != "" {
+		if err := writeArtifact(*jsonOut, root, diags); err != nil {
+			return fail(err)
+		}
+	}
+	for _, d := range diags {
 		fmt.Println(d)
-		n++
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d violation(s)\n", n)
-		os.Exit(1)
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d violation(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
-// ruleFilter parses the -rules flag into a predicate (empty = keep all).
-func ruleFilter(spec string) func(string) bool {
+func fail(err error) int {
+	fmt.Fprintf(os.Stderr, "simlint: %v\n", err)
+	return 2
+}
+
+// writeArtifact writes the simlint-diag/v1 JSON artifact to path ("-" =
+// stdout).
+func writeArtifact(path, root string, diags []analysis.Diagnostic) error {
+	module, err := analysis.ModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return err
+	}
+	rep := analysis.NewReport(module, diags)
+	if path == "-" {
+		return analysis.WriteReport(os.Stdout, rep)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteReport(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// filterRules applies the -rules subset (empty = keep all).
+func filterRules(diags []analysis.Diagnostic, spec string) []analysis.Diagnostic {
 	if spec == "" {
-		return func(string) bool { return true }
+		return diags
 	}
 	set := map[string]bool{}
 	for _, r := range strings.Split(spec, ",") {
@@ -88,7 +183,13 @@ func ruleFilter(spec string) func(string) bool {
 			set[r] = true
 		}
 	}
-	return func(rule string) bool { return set[rule] }
+	kept := diags[:0]
+	for _, d := range diags {
+		if set[d.Rule] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

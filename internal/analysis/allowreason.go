@@ -1,0 +1,32 @@
+package analysis
+
+// AllowReason audits the escape hatch itself. An //simlint:allow
+// directive with no "-- reason" is an unreviewable suppression: six
+// months later nobody can tell whether the exemption is still justified
+// or just fossilized. The reason clause is mandatory, and a directive
+// naming a rule the suite does not have is flagged too — it suppresses
+// nothing and usually marks a typo shadowing a real violation.
+var AllowReason = &Analyzer{
+	Name:   "allowreason",
+	Doc:    "//simlint:allow directives must name known rules and carry a -- reason",
+	Finish: finishAllowReason,
+}
+
+func finishAllowReason(pass *Pass) {
+	s := pass.suite
+	for _, pos := range s.bare {
+		s.diags = append(s.diags, Diagnostic{
+			Pos:  pos,
+			Rule: "allowreason",
+			Message: "allow directive has no reason: write //simlint:allow <rule> -- <why this exemption is sound>, " +
+				"so the suppression can be re-audited",
+		})
+	}
+	for _, u := range s.unknown {
+		s.diags = append(s.diags, Diagnostic{
+			Pos:     u.pos,
+			Rule:    "allowreason",
+			Message: "allow directive names unknown rule " + u.rule + ": it suppresses nothing (check for a typo)",
+		})
+	}
+}

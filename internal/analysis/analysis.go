@@ -9,21 +9,54 @@
 // go/parser + go/types (stdlib only) and reports every construct that can
 // leak host nondeterminism into simulation results.
 //
+// v2 grows the suite from purely syntactic rules into a dataflow layer
+// (dataflow.go): a def-use index and a static call graph over the typed
+// AST feed interprocedural passes — seed taint tracking (seedtaint),
+// shared-mutable-state detection ahead of the PDES shard refactor
+// (sharedstate), and zero-alloc hot-path enforcement (hotpath) — plus
+// closed-enum exhaustiveness (kindswitch) and schema-tag registry checks
+// (schemalit). DESIGN.md §12 documents the architecture.
+//
 // Audited exceptions are annotated in the source:
 //
-//	//simlint:allow <rule>[,<rule>...] [-- <reason>]
+//	//simlint:allow <rule>[,<rule>...] -- <reason>
 //
-// placed on the offending line or the line directly above it. DESIGN.md
+// placed on the offending line or the line directly above it. The reason
+// is mandatory (the allowreason rule flags bare directives). DESIGN.md
 // ("Determinism rules") documents every rule and the reasoning behind it.
 package analysis
 
 import (
 	"fmt"
 	"go/token"
+	"oversub/internal/schema"
 	"path/filepath"
 	"sort"
 	"strings"
 )
+
+// Version salts every cache fingerprint. Bump it whenever a rule's
+// behaviour changes, so stale cached diagnostics can never mask a new
+// violation (or keep reporting a fixed one).
+const Version = schema.SimlintV2
+
+// A TextEdit is one replacement of a byte range in one file. Start and End
+// are byte offsets into the file's current content; NewText replaces
+// [Start, End).
+type TextEdit struct {
+	File    string `json:"file"`
+	Start   int    `json:"start"`
+	End     int    `json:"end"`
+	NewText string `json:"newText"`
+}
+
+// A SuggestedFix is a machine-applicable resolution of a diagnostic,
+// applied by simlint -fix. Only mechanical rules (kindswitch, schemalit)
+// attach fixes; judgement calls stay human.
+type SuggestedFix struct {
+	Message string     `json:"message"`
+	Edits   []TextEdit `json:"edits"`
+}
 
 // A Diagnostic is one rule violation.
 type Diagnostic struct {
@@ -33,6 +66,8 @@ type Diagnostic struct {
 	Rule string
 	// Message explains the violation.
 	Message string
+	// Fix, if non-nil, resolves the diagnostic mechanically.
+	Fix *SuggestedFix
 }
 
 // String formats the diagnostic as "file:line:col: [rule] message".
@@ -47,15 +82,22 @@ type Analyzer struct {
 	// Doc is a one-line description of what the rule enforces.
 	Doc string
 	// SimScope restricts the rule to simulation-result-producing packages
-	// (see DefaultSimScope). Module-wide rules leave it false.
+	// (see DeriveSimScope). Module-wide rules leave it false.
 	SimScope bool
 	// Run inspects one package and reports violations through the pass.
+	// Module-scope rules that only accumulate may leave it nil.
 	Run func(*Pass)
 	// Finish, if non-nil, runs once after every package has been visited.
-	// Rules that need whole-module state (atomics) report from here; the
-	// pass it receives has no Pkg.
+	// Rules that need whole-module state (atomics, the dataflow passes)
+	// report from here; the pass it receives has no Pkg. An analyzer with
+	// a Finish hook is module-scope: its diagnostics live in the cache's
+	// module entry, never in per-package entries.
 	Finish func(*Pass)
 }
+
+// ModuleScope reports whether the analyzer needs the whole module before
+// it can report (and therefore cannot be cached per package).
+func (a *Analyzer) ModuleScope() bool { return a.Finish != nil }
 
 // Analyzers returns the full simlint rule suite.
 func Analyzers() []*Analyzer {
@@ -67,35 +109,12 @@ func Analyzers() []*Analyzer {
 		GoStmt,
 		SimTime,
 		Atomics,
-		SeedFlow,
-	}
-}
-
-// simScopeDirs are the internal/<dir> subtrees whose packages produce (or
-// directly feed) simulation results, per ISSUE 2: everything here must be
-// a deterministic function of the seed.
-var simScopeDirs = []string{
-	"sim", "sched", "futex", "epoll", "bwd", "locks",
-	"hw", "mem", "omp", "workload", "sweep", "stats", "trace", "metrics",
-	"cluster",
-}
-
-// DefaultSimScope returns the predicate marking which import paths of the
-// module are simulation scope: the internal simulation packages plus every
-// command (cmd/... renders experiment output, so nondeterminism there
-// corrupts results just as surely).
-func DefaultSimScope(modulePath string) func(string) bool {
-	return func(path string) bool {
-		if strings.HasPrefix(path, modulePath+"/cmd/") {
-			return true
-		}
-		for _, d := range simScopeDirs {
-			base := modulePath + "/internal/" + d
-			if path == base || strings.HasPrefix(path, base+"/") {
-				return true
-			}
-		}
-		return false
+		SeedTaint,
+		SharedState,
+		HotPath,
+		KindSwitch,
+		SchemaLit,
+		AllowReason,
 	}
 }
 
@@ -114,10 +133,20 @@ type Pass struct {
 
 // Reportf records a diagnostic for the pass's rule at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, nil, format, args...)
+}
+
+// ReportFix records a diagnostic carrying a machine-applicable fix.
+func (p *Pass) ReportFix(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
+	p.report(pos, fix, format, args...)
+}
+
+func (p *Pass) report(pos token.Pos, fix *SuggestedFix, format string, args ...any) {
 	p.suite.diags = append(p.suite.diags, Diagnostic{
 		Pos:     p.Fset.Position(pos),
 		Rule:    p.rule.Name,
 		Message: fmt.Sprintf(format, args...),
+		Fix:     fix,
 	})
 }
 
@@ -133,6 +162,11 @@ func (p *Pass) State(key string, mk func() any) any {
 	return st
 }
 
+// InScope reports whether an import path is in the suite's simulation
+// scope. Module-scope rules use it during Finish, when no single package
+// is current.
+func (p *Pass) InScope(path string) bool { return p.suite.simScope(path) }
+
 // A Suite runs a set of analyzers over loaded packages and filters the
 // results through the source tree's allow directives.
 type Suite struct {
@@ -140,8 +174,18 @@ type Suite struct {
 	analyzers []*Analyzer
 	simScope  func(string) bool
 	state     map[string]any
-	allow     map[allowKey]bool
-	diags     []Diagnostic
+	// analyzed holds the import paths of every package in this run —
+	// the universe inside which "declared in this module" checks
+	// (closed enums, schema registries) resolve.
+	analyzed map[string]bool
+	allow    map[allowKey]bool
+	bare     []token.Position // allow directives with no -- reason
+	unknown  []allowUnknown   // allow directives naming no known rule
+	diags    []Diagnostic
+	// skipRun marks package paths whose per-package (non-module-scope)
+	// analyzers are skipped because their diagnostics were served from the
+	// content-hash cache. Module-scope analyzers still visit them.
+	skipRun map[string]bool
 }
 
 // allowKey identifies one allow directive's reach: a rule allowed on one
@@ -149,6 +193,11 @@ type Suite struct {
 type allowKey struct {
 	file string
 	line int
+	rule string
+}
+
+type allowUnknown struct {
+	pos  token.Position
 	rule string
 }
 
@@ -160,19 +209,36 @@ func NewSuite(fset *token.FileSet, analyzers []*Analyzer, simScope func(string) 
 		analyzers: analyzers,
 		simScope:  simScope,
 		state:     map[string]any{},
+		analyzed:  map[string]bool{},
 		allow:     map[allowKey]bool{},
+		skipRun:   map[string]bool{},
 	}
 }
+
+// SkipPackageRules marks a package path whose per-package analyzers must
+// not run (their diagnostics come from the cache). Module-scope analyzers
+// are unaffected: they need every package to report correctly.
+func (s *Suite) SkipPackageRules(path string) { s.skipRun[path] = true }
 
 // Run analyzes the packages in order and returns the surviving
 // diagnostics sorted by position then rule — deterministic output being
 // rather the point of this tool.
 func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 	for _, pkg := range pkgs {
+		s.analyzed[pkg.Path] = true
+	}
+	for _, pkg := range pkgs {
 		s.collectAllows(pkg)
 		inScope := s.simScope(pkg.Path)
+		skip := s.skipRun[pkg.Path]
 		for _, a := range s.analyzers {
 			if a.SimScope && !inScope {
+				continue
+			}
+			if skip && !a.ModuleScope() {
+				continue
+			}
+			if a.Run == nil {
 				continue
 			}
 			a.Run(&Pass{Fset: s.fset, Pkg: pkg, SimScope: inScope, rule: a, suite: s})
@@ -190,8 +256,15 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 		}
 	}
 	s.diags = kept
-	sort.Slice(s.diags, func(i, j int) bool {
-		a, b := s.diags[i], s.diags[j]
+	SortDiagnostics(s.diags)
+	return s.diags
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, rule, message
+// — the suite's deterministic output contract.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
 			return a.Pos.Filename < b.Pos.Filename
 		}
@@ -201,9 +274,11 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return s.diags
 }
 
 // collectAllows indexes every //simlint:allow directive in pkg. A
@@ -215,15 +290,25 @@ func (s *Suite) Run(pkgs []*Package) []Diagnostic {
 //	//simlint:allow walltime -- host elapsed metric
 //	t0 := time.Now()
 func (s *Suite) collectAllows(pkg *Package) {
+	known := map[string]bool{}
+	for _, a := range s.analyzers {
+		known[a.Name] = true
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rules, ok := parseAllow(c.Text)
+				rules, hasReason, ok := parseAllow(c.Text)
 				if !ok {
 					continue
 				}
 				pos := s.fset.Position(c.Pos())
+				if !hasReason {
+					s.bare = append(s.bare, pos)
+				}
 				for _, r := range rules {
+					if !known[r] {
+						s.unknown = append(s.unknown, allowUnknown{pos: pos, rule: r})
+					}
 					s.allow[allowKey{pos.Filename, pos.Line, r}] = true
 					s.allow[allowKey{pos.Filename, pos.Line + 1, r}] = true
 				}
@@ -233,22 +318,23 @@ func (s *Suite) collectAllows(pkg *Package) {
 }
 
 // parseAllow extracts the rule list from one "//simlint:allow ..."
-// comment, reporting whether the comment is a directive at all.
-func parseAllow(text string) ([]string, bool) {
+// comment, reporting whether a "-- reason" suffix is present and whether
+// the comment is a directive at all.
+func parseAllow(text string) (rules []string, hasReason, ok bool) {
 	rest, ok := strings.CutPrefix(text, "//simlint:allow")
 	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
-		return nil, false
+		return nil, false, false
 	}
-	if reason := strings.Index(rest, "--"); reason >= 0 {
-		rest = rest[:reason]
+	if i := strings.Index(rest, "--"); i >= 0 {
+		hasReason = strings.TrimSpace(rest[i+len("--"):]) != ""
+		rest = rest[:i]
 	}
-	var rules []string
 	for _, r := range strings.Split(rest, ",") {
 		if r = strings.TrimSpace(r); r != "" {
 			rules = append(rules, r)
 		}
 	}
-	return rules, len(rules) > 0
+	return rules, hasReason, len(rules) > 0
 }
 
 func (s *Suite) allowed(d Diagnostic) bool {
@@ -256,24 +342,75 @@ func (s *Suite) allowed(d Diagnostic) bool {
 }
 
 // LintModule loads the module rooted at root and runs the full analyzer
-// suite with the default scope. It returns the diagnostics (file names
-// relative to root) and any load error.
+// suite with the derived sim scope. It returns the diagnostics (file
+// names relative to root) and any load error.
 func LintModule(root string) ([]Diagnostic, error) {
-	modPath, err := ModulePath(filepath.Join(root, "go.mod"))
+	res, err := Lint(Config{Root: root})
 	if err != nil {
 		return nil, err
 	}
-	l := NewLoader(root, modPath)
-	pkgs, err := l.LoadTree()
+	return res.Diags, nil
+}
+
+// Config parameterizes a module lint run.
+type Config struct {
+	// Root is the module root directory (holding go.mod).
+	Root string
+	// Analyzers overrides the rule suite (nil = Analyzers()).
+	Analyzers []*Analyzer
+	// CacheDir enables the per-package content-hash cache ("" = off).
+	CacheDir string
+}
+
+// Result is the outcome of a module lint run.
+type Result struct {
+	// Diags are the surviving diagnostics, file names relative to Root.
+	Diags []Diagnostic
+	// ModuleHit reports whether the whole run was served from the cache
+	// (no parsing or type checking happened at all).
+	ModuleHit bool
+	// PkgHits counts packages whose per-package diagnostics came from the
+	// cache on a partial hit.
+	PkgHits int
+}
+
+// Lint runs the analyzer suite over the module rooted at cfg.Root,
+// consulting the content-hash cache when configured.
+func Lint(cfg Config) (*Result, error) {
+	analyzers := cfg.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	modPath, err := ModulePath(filepath.Join(cfg.Root, "go.mod"))
 	if err != nil {
 		return nil, err
 	}
-	s := NewSuite(l.Fset(), Analyzers(), DefaultSimScope(modPath))
-	diags := s.Run(pkgs)
-	for i := range diags {
-		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
-			diags[i].Pos.Filename = rel
+	var cache *Cache
+	if cfg.CacheDir != "" {
+		cache = NewCache(cfg.CacheDir)
+	}
+	res, err := lintWithCache(cfg.Root, modPath, analyzers, cache)
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Diags {
+		if rel, err := filepath.Rel(cfg.Root, res.Diags[i].Pos.Filename); err == nil {
+			res.Diags[i].Pos.Filename = rel
+		}
+		for j := range res.Diags[i].fixEdits() {
+			e := &res.Diags[i].Fix.Edits[j]
+			if rel, err := filepath.Rel(cfg.Root, e.File); err == nil {
+				e.File = rel
+			}
 		}
 	}
-	return diags, nil
+	SortDiagnostics(res.Diags)
+	return res, nil
+}
+
+func (d *Diagnostic) fixEdits() []TextEdit {
+	if d.Fix == nil {
+		return nil
+	}
+	return d.Fix.Edits
 }

@@ -1,0 +1,298 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The content-hash cache makes the ci.sh simlint gate cheap on warm
+// trees. Keys are derived from file contents alone — no mtimes — via a
+// parse-only scan (parser.ImportsOnly, no type checking):
+//
+//   - a package key covers the analyzer suite, the package's own files,
+//     and the transitive in-module dependency hashes (a rule's verdict on
+//     pkg P can depend on the types of anything P imports);
+//   - the module key covers every package key.
+//
+// On a module-key hit the whole run — parsing, type checking, analysis —
+// is skipped and the stored diagnostics replay. On a partial hit the tree
+// still loads (module-scope rules need every package, and type checking
+// needs dependencies anyway), but per-package rules are skipped for hit
+// packages and their stored diagnostics merge in. Module-scope rules
+// (anything with a Finish hook) are never served per-package: their
+// verdicts depend on the whole module, so they live only in the module
+// entry.
+//
+// Version salts every key, so a rule-behaviour change invalidates
+// everything at once.
+
+// A Cache is a directory of keyed diagnostic entries.
+type Cache struct {
+	dir string
+}
+
+// NewCache returns a cache rooted at dir, creating it lazily on first
+// write.
+func NewCache(dir string) *Cache { return &Cache{dir: dir} }
+
+// cacheEntry is the on-disk format. Diags uses the Diagnostic JSON shape
+// directly; file names are absolute (Lint relativizes after replay, same
+// as for fresh diagnostics).
+type cacheEntry struct {
+	Version string       `json:"version"`
+	Diags   []Diagnostic `json:"diags"`
+}
+
+func (c *Cache) get(key string) ([]Diagnostic, bool) {
+	data, err := os.ReadFile(filepath.Join(c.dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != Version {
+		return nil, false
+	}
+	if e.Diags == nil {
+		e.Diags = []Diagnostic{}
+	}
+	return e.Diags, true
+}
+
+func (c *Cache) put(key string, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	data, err := json.Marshal(cacheEntry{Version: Version, Diags: diags})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(c.dir, key+".json"), data, 0o644)
+}
+
+// A scanPkg is one package's fingerprint inputs from the parse-only scan.
+type scanPkg struct {
+	path    string   // import path
+	dir     string   // absolute directory
+	hash    string   // content hash over this package's own files
+	imports []string // in-module imports, sorted
+}
+
+// scanModule fingerprints every package under root without type checking.
+// Directory filtering mirrors Loader.LoadTree exactly: a package the
+// loader would analyze is a package the cache must key.
+func scanModule(root, modPath string) (map[string]*scanPkg, []string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if name := d.Name(); p != root &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return fs.SkipDir
+		}
+		if ok, err := hasGoFiles(p); err != nil {
+			return err
+		} else if ok {
+			dirs = append(dirs, p)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	pkgs := map[string]*scanPkg{}
+	var order []string
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		var path string
+		if rel == "." {
+			path = modPath
+		} else {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() && isSourceFile(e.Name()) {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		h := sha256.New()
+		seen := map[string]bool{}
+		var imports []string
+		for _, name := range names {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				return nil, nil, err
+			}
+			fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+			h.Write(data)
+			f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly)
+			if err != nil {
+				continue // the real load will surface the error
+			}
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil || seen[ip] {
+					continue
+				}
+				seen[ip] = true
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					imports = append(imports, ip)
+				}
+			}
+		}
+		sort.Strings(imports)
+		pkgs[path] = &scanPkg{
+			path:    path,
+			dir:     dir,
+			hash:    hex.EncodeToString(h.Sum(nil)),
+			imports: imports,
+		}
+		order = append(order, path)
+	}
+	sort.Strings(order)
+	return pkgs, order, nil
+}
+
+// cacheKeys computes the per-package and module keys for a scanned tree.
+func cacheKeys(analyzers []*Analyzer, pkgs map[string]*scanPkg, order []string) (pkgKeys map[string]string, moduleKey string) {
+	var fp strings.Builder
+	fp.WriteString(Version)
+	for _, a := range analyzers {
+		fmt.Fprintf(&fp, "|%s:%t", a.Name, a.ModuleScope())
+	}
+	fingerprint := fp.String()
+
+	// depHash folds a package's own hash with its transitive in-module
+	// dependency hashes. Go imports are acyclic; the visiting guard only
+	// defends against a broken tree mid-edit.
+	memo := map[string]string{}
+	visiting := map[string]bool{}
+	var depHash func(path string) string
+	depHash = func(path string) string {
+		if h, ok := memo[path]; ok {
+			return h
+		}
+		p, ok := pkgs[path]
+		if !ok || visiting[path] {
+			return ""
+		}
+		visiting[path] = true
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%s\x00", p.path, p.hash)
+		for _, imp := range p.imports {
+			fmt.Fprintf(h, "%s=%s\x00", imp, depHash(imp))
+		}
+		delete(visiting, path)
+		sum := hex.EncodeToString(h.Sum(nil))
+		memo[path] = sum
+		return sum
+	}
+
+	pkgKeys = map[string]string{}
+	mod := sha256.New()
+	fmt.Fprintf(mod, "%s\x00", fingerprint)
+	for _, path := range order {
+		h := sha256.New()
+		fmt.Fprintf(h, "%s\x00%s\x00%s\x00", fingerprint, path, depHash(path))
+		key := hex.EncodeToString(h.Sum(nil))
+		pkgKeys[path] = key
+		fmt.Fprintf(mod, "%s=%s\x00", path, key)
+	}
+	return pkgKeys, hex.EncodeToString(mod.Sum(nil))
+}
+
+// lintWithCache is the load-and-run core behind Lint.
+func lintWithCache(root, modPath string, analyzers []*Analyzer, cache *Cache) (*Result, error) {
+	var pkgKeys map[string]string
+	var moduleKey string
+	if cache != nil {
+		scanned, order, err := scanModule(root, modPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgKeys, moduleKey = cacheKeys(analyzers, scanned, order)
+		if diags, ok := cache.get(moduleKey); ok {
+			return &Result{Diags: diags, ModuleHit: true, PkgHits: len(order)}, nil
+		}
+	}
+
+	loader := NewLoader(root, modPath)
+	pkgs, err := loader.LoadTree()
+	if err != nil {
+		return nil, err
+	}
+	suite := NewSuite(loader.Fset(), analyzers, DeriveSimScope(modPath, pkgs))
+
+	var cached []Diagnostic
+	pkgHits := 0
+	if cache != nil {
+		for _, pkg := range pkgs {
+			if d, ok := cache.get(pkgKeys[pkg.Path]); ok {
+				suite.SkipPackageRules(pkg.Path)
+				cached = append(cached, d...)
+				pkgHits++
+			}
+		}
+	}
+
+	all := append(suite.Run(pkgs), cached...)
+	SortDiagnostics(all)
+
+	if cache != nil {
+		moduleScope := map[string]bool{}
+		for _, a := range analyzers {
+			if a.ModuleScope() {
+				moduleScope[a.Name] = true
+			}
+		}
+		dirToPkg := map[string]string{}
+		for _, pkg := range pkgs {
+			dirToPkg[pkg.Dir] = pkg.Path
+		}
+		perPkg := map[string][]Diagnostic{}
+		for _, d := range all {
+			if moduleScope[d.Rule] {
+				continue
+			}
+			if path, ok := dirToPkg[filepath.Dir(d.Pos.Filename)]; ok {
+				perPkg[path] = append(perPkg[path], d)
+			}
+		}
+		for _, pkg := range pkgs {
+			if err := cache.put(pkgKeys[pkg.Path], perPkg[pkg.Path]); err != nil {
+				return nil, err
+			}
+		}
+		if err := cache.put(moduleKey, all); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Diags: all, PkgHits: pkgHits}, nil
+}

@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the suite's SSA-lite dataflow layer: a module-wide function
+// index, a static call graph, and a per-function def-use builder over the
+// typed AST — stdlib only, no golang.org/x/tools. It deliberately stops
+// short of full SSA: the interprocedural passes built on top (seedtaint,
+// sharedstate, hotpath) need "which expressions can this variable hold"
+// and "who calls this function with what", not dominance frontiers.
+//
+// The index is shared suite state: every dataflow pass's Run hook feeds
+// its package in (idempotently), and the pass reports from Finish once the
+// whole module is indexed.
+
+const dataflowKey = "dataflow"
+
+// A dfFunc is one indexed function declaration.
+type dfFunc struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+	// hot marks a //simlint:hotpath annotation on the declaration.
+	hot bool
+}
+
+// A dfCall is one static call edge.
+type dfCall struct {
+	caller *dfFunc // enclosing declaration; nil for package-scope init exprs
+	callee *types.Func
+	call   *ast.CallExpr
+}
+
+// dfIndex is the module-wide dataflow index.
+type dfIndex struct {
+	pkgs  []*Package
+	added map[string]bool
+	// funcs indexes every function/method declaration in the module.
+	funcs map[*types.Func]*dfFunc
+	// callersOf lists the static call sites targeting a module function.
+	callersOf map[*types.Func][]dfCall
+	// callsIn lists the static calls made lexically inside a declaration
+	// (including inside its func literals).
+	callsIn map[*dfFunc][]dfCall
+	// defs caches per-function def-use results.
+	defs map[*dfFunc]map[*types.Var][]ast.Expr
+}
+
+// dataflow returns the suite's shared index, feeding the pass's package in
+// on first sight. Call from a Run hook; by Finish time every package has
+// been indexed.
+func dataflow(pass *Pass) *dfIndex {
+	ix := pass.State(dataflowKey, func() any {
+		return &dfIndex{
+			added:     map[string]bool{},
+			funcs:     map[*types.Func]*dfFunc{},
+			callersOf: map[*types.Func][]dfCall{},
+			callsIn:   map[*dfFunc][]dfCall{},
+			defs:      map[*dfFunc]map[*types.Var][]ast.Expr{},
+		}
+	}).(*dfIndex)
+	if pass.Pkg != nil && !ix.added[pass.Pkg.Path] {
+		ix.added[pass.Pkg.Path] = true
+		ix.addPackage(pass.Pkg)
+	}
+	return ix
+}
+
+func (ix *dfIndex) addPackage(pkg *Package) {
+	ix.pkgs = append(ix.pkgs, pkg)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			df := &dfFunc{obj: obj, decl: fd, pkg: pkg, hot: isHotDecl(fd)}
+			ix.funcs[obj] = df
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pkg.Info, call)
+				if callee == nil {
+					return true
+				}
+				edge := dfCall{caller: df, callee: callee, call: call}
+				ix.callersOf[callee] = append(ix.callersOf[callee], edge)
+				ix.callsIn[df] = append(ix.callsIn[df], edge)
+				return true
+			})
+		}
+	}
+}
+
+// isHotDecl reports whether the declaration carries a //simlint:hotpath
+// directive in its doc comment group.
+func isHotDecl(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == "//simlint:hotpath" || strings.HasPrefix(c.Text, "//simlint:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+// localDefs returns, for every variable defined or assigned inside fn's
+// body, the expressions it can hold: initializers, assignment RHSs, and
+// (for multi-value forms) the whole RHS call. Results are cached.
+func (ix *dfIndex) localDefs(fn *dfFunc) map[*types.Var][]ast.Expr {
+	if d, ok := ix.defs[fn]; ok {
+		return d
+	}
+	defs := map[*types.Var][]ast.Expr{}
+	info := fn.pkg.Info
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := info.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = info.Uses[id].(*types.Var)
+		}
+		if !ok || v == nil {
+			return
+		}
+		defs[v] = append(defs[v], rhs)
+	}
+	if fn.decl.Body != nil {
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				} else if len(n.Rhs) == 1 {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[0])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[i])
+					}
+				} else if len(n.Values) == 1 {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[0])
+					}
+				}
+			}
+			return true
+		})
+	}
+	ix.defs[fn] = defs
+	return defs
+}
+
+// paramIndex returns the position of v among fn's parameters, or -1.
+func paramIndex(fn *dfFunc, v *types.Var) int {
+	sig, ok := fn.obj.Type().(*types.Signature)
+	if !ok {
+		return -1
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i) == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// calleeFunc resolves the function a call invokes, through parentheses
+// and both plain and selector call forms. It returns nil for conversions,
+// builtins, and calls of function-typed values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// enclosingPanicArgs collects, for one function body, every position range
+// that is an argument of a panic() call — the sanctioned cold path where
+// fmt formatting and boxing are fine (the allocation happens only while
+// the program dies).
+type coldRanges []coldRange
+
+type coldRange struct{ lo, hi token.Pos }
+
+func (cr coldRanges) contains(pos token.Pos) bool {
+	for _, r := range cr {
+		if pos >= r.lo && pos <= r.hi {
+			return true
+		}
+	}
+	return false
+}
+
+// coldRangesIn finds the panic-argument ranges inside body.
+func coldRangesIn(body ast.Node) coldRanges {
+	var out coldRanges
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+			for _, a := range call.Args {
+				out = append(out, coldRange{lo: a.Pos(), hi: a.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSimPackage reports whether pkg is the simulation engine package (or a
+// test stub of it: matching on the package name keeps the analyzers
+// testable against testdata corpora, and this linter is repo-specific).
+func isSimPackage(pkg *types.Package) bool {
+	return pkg != nil && pkg.Name() == "sim"
+}
+
+// isSimRand reports whether t is (a pointer to) sim.Rand.
+func isSimRand(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Rand" && isSimPackage(obj.Pkg())
+}

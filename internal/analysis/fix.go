@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// ApplyFixes applies every machine-applicable SuggestedFix in diags to the
+// tree rooted at root (edit file paths are root-relative, as returned by
+// Lint). Edits within a file are applied back-to-front so earlier offsets
+// stay valid; identical edits from multiple diagnostics are deduplicated
+// (two fixes adding the same import collapse to one), and overlapping
+// edits are skipped rather than guessed at — the second lint run reports
+// whatever survives. Modified files are re-run through go/format, so -fix
+// output is always gofmt-clean and a second -fix pass is a no-op.
+//
+// It returns the root-relative paths of the files it modified and the
+// number of edits skipped due to overlap.
+func ApplyFixes(root string, diags []Diagnostic) (changed []string, skipped int, err error) {
+	byFile := map[string][]TextEdit{}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			byFile[e.File] = append(byFile[e.File], e)
+		}
+	}
+	files := make([]string, 0, len(byFile))
+	for f := range byFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	for _, rel := range files {
+		edits := byFile[rel]
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			if edits[i].End != edits[j].End {
+				return edits[i].End < edits[j].End
+			}
+			return edits[i].NewText < edits[j].NewText
+		})
+		// Deduplicate, then drop overlaps (keep the earlier edit).
+		kept := edits[:0]
+		for _, e := range edits {
+			if n := len(kept); n > 0 {
+				prev := kept[n-1]
+				if prev == e {
+					continue
+				}
+				if e.Start < prev.End || (e.Start == prev.Start && e.End == prev.End) {
+					skipped++
+					continue
+				}
+			}
+			kept = append(kept, e)
+		}
+		if len(kept) == 0 {
+			continue
+		}
+		abs := filepath.Join(root, filepath.FromSlash(rel))
+		data, err := os.ReadFile(abs)
+		if err != nil {
+			return changed, skipped, err
+		}
+		for i := len(kept) - 1; i >= 0; i-- {
+			e := kept[i]
+			if e.Start < 0 || e.End < e.Start || e.End > len(data) {
+				return changed, skipped, fmt.Errorf("analysis: fix edit out of range for %s: [%d,%d) of %d bytes", rel, e.Start, e.End, len(data))
+			}
+			var next []byte
+			next = append(next, data[:e.Start]...)
+			next = append(next, e.NewText...)
+			next = append(next, data[e.End:]...)
+			data = next
+		}
+		formatted, err := format.Source(data)
+		if err != nil {
+			return changed, skipped, fmt.Errorf("analysis: fixed %s does not parse: %w", rel, err)
+		}
+		info, err := os.Stat(abs)
+		if err != nil {
+			return changed, skipped, err
+		}
+		if err := os.WriteFile(abs, formatted, info.Mode().Perm()); err != nil {
+			return changed, skipped, err
+		}
+		changed = append(changed, rel)
+	}
+	return changed, skipped, nil
+}

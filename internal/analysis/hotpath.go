@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// HotPath statically pins the zero-alloc invariants of the PR 5 event
+// core. Functions annotated
+//
+//	//simlint:hotpath
+//
+// (the engine push/pop paths, timer rearm, kernel wake/dispatch, the BWD
+// window) must not contain the repo's known steady-state allocation
+// sources, and neither may anything they statically call, module-wide:
+//
+//   - closures (func literals) — PR 5 made every hot schedule path
+//     closure-free via package-level trampolines with inline node args;
+//   - fmt calls — formatting allocates (and boxes every argument);
+//   - map/slice composite literals and make/new of maps, slices, chans;
+//   - interface boxing — converting a non-pointer-shaped value (int,
+//     struct, string) to an interface type heap-allocates the value.
+//
+// Arguments of panic calls are exempt: a dying run may format freely.
+// Struct composite literals are deliberately not flagged — the pool-refill
+// idiom (&node{...} on pool miss) is the sanctioned amortized allocation.
+//
+// The AllocsPerRun tests and the ci.sh alloc gate pin the same invariants
+// dynamically; this pass pins them at review time, for every call path
+// rather than the ones the benchmarks happen to drive.
+var HotPath = &Analyzer{
+	Name:   "hotpath",
+	Doc:    "//simlint:hotpath functions (and their static callees) must stay allocation-free",
+	Run:    runHotPath,
+	Finish: finishHotPath,
+}
+
+func runHotPath(pass *Pass) {
+	dataflow(pass)
+}
+
+// hotIssue is one allocation source found in a function body.
+type hotIssue struct {
+	pos  token.Pos
+	desc string
+}
+
+type hotChecker struct {
+	pass *Pass
+	ix   *dfIndex
+	// direct caches per-function lexical issues; summary caches the first
+	// transitive issue reachable from a function (nil = clean), with the
+	// call chain that reaches it.
+	direct   map[*dfFunc][]hotIssue
+	summary  map[*dfFunc]*hotSummary
+	visiting map[*dfFunc]bool
+}
+
+type hotSummary struct {
+	issue hotIssue
+	chain string // "f → g" call path from the summarized function
+}
+
+func finishHotPath(pass *Pass) {
+	ix, ok := pass.suite.state[dataflowKey].(*dfIndex)
+	if !ok {
+		return
+	}
+	hc := &hotChecker{
+		pass:     pass,
+		ix:       ix,
+		direct:   map[*dfFunc][]hotIssue{},
+		summary:  map[*dfFunc]*hotSummary{},
+		visiting: map[*dfFunc]bool{},
+	}
+	var hot []*dfFunc
+	for _, df := range ix.funcs {
+		if df.hot {
+			hot = append(hot, df)
+		}
+	}
+	sort.Slice(hot, func(i, j int) bool { return hot[i].decl.Pos() < hot[j].decl.Pos() })
+	for _, df := range hot {
+		for _, issue := range hc.directIssues(df) {
+			pass.Reportf(issue.pos, "hot path %s %s", df.obj.Name(), issue.desc)
+		}
+		for _, edge := range ix.callsIn[df] {
+			callee, ok := ix.funcs[edge.callee]
+			if !ok || callee == df {
+				continue
+			}
+			if s := hc.summarize(callee); s != nil {
+				p := pass.Fset.Position(s.issue.pos)
+				pass.Reportf(edge.call.Pos(),
+					"hot path %s calls %s, which %s (%s:%d via %s)",
+					df.obj.Name(), edge.callee.Name(), s.issue.desc,
+					filepath.Base(p.Filename), p.Line, s.chain)
+			}
+		}
+	}
+}
+
+// summarize returns the first allocation issue reachable from fn through
+// static module calls, or nil if fn and everything it calls are clean.
+// Cycles are treated as clean while in progress.
+func (hc *hotChecker) summarize(fn *dfFunc) *hotSummary {
+	if s, ok := hc.summary[fn]; ok {
+		return s
+	}
+	if hc.visiting[fn] {
+		return nil
+	}
+	hc.visiting[fn] = true
+	defer delete(hc.visiting, fn)
+
+	var result *hotSummary
+	if issues := hc.directIssues(fn); len(issues) > 0 {
+		result = &hotSummary{issue: issues[0], chain: fn.obj.Name()}
+	} else {
+		for _, edge := range hc.ix.callsIn[fn] {
+			callee, ok := hc.ix.funcs[edge.callee]
+			if !ok || callee == fn {
+				continue
+			}
+			if s := hc.summarize(callee); s != nil {
+				result = &hotSummary{issue: s.issue, chain: fn.obj.Name() + " → " + s.chain}
+				break
+			}
+		}
+	}
+	hc.summary[fn] = result
+	return result
+}
+
+// directIssues finds the lexical allocation sources in fn's own body.
+func (hc *hotChecker) directIssues(fn *dfFunc) []hotIssue {
+	if issues, ok := hc.direct[fn]; ok {
+		return issues
+	}
+	var issues []hotIssue
+	if fn.decl.Body != nil {
+		cold := coldRangesIn(fn.decl.Body)
+		info := fn.pkg.Info
+		add := func(pos token.Pos, format string, args ...any) {
+			issues = append(issues, hotIssue{pos: pos, desc: fmt.Sprintf(format, args...)})
+		}
+		ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			if cold.contains(n.Pos()) {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				add(n.Pos(), "contains a closure; hot paths schedule through package-level trampolines with inline node args")
+				return false // the literal's body belongs to the closure
+			case *ast.CompositeLit:
+				t := info.TypeOf(n)
+				if t != nil {
+					switch t.Underlying().(type) {
+					case *types.Map:
+						add(n.Pos(), "allocates a map literal")
+					case *types.Slice:
+						add(n.Pos(), "allocates a slice literal")
+					}
+				}
+			case *ast.CallExpr:
+				hc.checkCall(fn, n, add)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Lhs) != len(n.Rhs) {
+						break
+					}
+					lt := info.TypeOf(n.Lhs[i])
+					hc.checkBox(fn, rhs, lt, add)
+				}
+			case *ast.ReturnStmt:
+				sig, ok := fn.obj.Type().(*types.Signature)
+				if ok && len(n.Results) == sig.Results().Len() {
+					for i, r := range n.Results {
+						hc.checkBox(fn, r, sig.Results().At(i).Type(), add)
+					}
+				}
+			}
+			return true
+		})
+	}
+	hc.direct[fn] = issues
+	return issues
+}
+
+// checkCall flags allocating builtins, fmt calls, and boxing at argument
+// positions.
+func (hc *hotChecker) checkCall(fn *dfFunc, call *ast.CallExpr, add func(token.Pos, string, ...any)) {
+	info := fn.pkg.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		// Conversion: boxing is checked when the target is an interface.
+		if len(call.Args) == 1 {
+			hc.checkBox(fn, call.Args[0], tv.Type, add)
+		}
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				if t := info.TypeOf(call); t != nil {
+					switch t.Underlying().(type) {
+					case *types.Map, *types.Slice, *types.Chan:
+						add(call.Pos(), "allocates with make(%s)", types.ExprString(call.Args[0]))
+					}
+				}
+			case "new":
+				add(call.Pos(), "allocates with new(%s)", types.ExprString(call.Args[0]))
+			}
+			return
+		}
+	}
+	if callee := calleeFunc(info, call); callee != nil && callee.Pkg() != nil && callee.Pkg().Path() == "fmt" {
+		add(call.Pos(), "calls fmt.%s, which allocates and boxes its arguments", callee.Name())
+		return
+	}
+	// Boxing at argument positions, against the callee's signature.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			if s, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		hc.checkBox(fn, arg, pt, add)
+	}
+}
+
+// checkBox flags an implicit conversion of expr to an interface type when
+// the source value is not pointer-shaped (so the conversion allocates).
+func (hc *hotChecker) checkBox(fn *dfFunc, expr ast.Expr, target types.Type, add func(token.Pos, string, ...any)) {
+	if target == nil {
+		return
+	}
+	if _, ok := target.Underlying().(*types.Interface); !ok {
+		return
+	}
+	info := fn.pkg.Info
+	st := info.TypeOf(expr)
+	if st == nil {
+		return
+	}
+	if tv, ok := info.Types[expr]; ok && tv.IsNil() {
+		return
+	}
+	switch st.Underlying().(type) {
+	case *types.Interface, *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // interface-to-interface or pointer-shaped: no allocation
+	case *types.Basic:
+		if st.Underlying().(*types.Basic).Kind() == types.UnsafePointer {
+			return
+		}
+	}
+	add(expr.Pos(), "boxes %s (%s) into %s, which heap-allocates the value", types.ExprString(expr), st, target)
+}

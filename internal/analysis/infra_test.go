@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"oversub/internal/schema"
+)
+
+// The infrastructure tests cover the v2 plumbing around the rules: the
+// -fix applier, the JSON diagnostic artifact, the baseline filter, and
+// the content-hash cache. Each builds a throwaway module under t.TempDir
+// and drives the same public Lint entry point the CLI uses.
+
+// writeModule materializes a module tree from path→content pairs and
+// returns its root. A go.mod for module "fixmod" is always written.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module fixmod\n\ngo 1.21\n"
+	for rel, content := range files {
+		abs := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(abs, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func lintTemp(t *testing.T, root string) []Diagnostic {
+	t.Helper()
+	res, err := Lint(Config{Root: root})
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	return res.Diags
+}
+
+// TestApplyFixesKindSwitch drives the full -fix cycle on a non-exhaustive
+// enum switch: the suggested fix must lint clean afterwards, and a second
+// fix pass must be a byte-for-byte no-op (the CLI's idempotency contract).
+func TestApplyFixesKindSwitch(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"enum.go": `package fixmod
+
+type kind int
+
+const (
+	kA kind = iota
+	kB
+	kC
+)
+
+func describe(k kind) int {
+	switch k {
+	case kA:
+		return 1
+	}
+	return 0
+}
+`,
+	})
+	diags := lintTemp(t, root)
+	var fixable []Diagnostic
+	for _, d := range diags {
+		if d.Rule == "kindswitch" {
+			if d.Fix == nil {
+				t.Fatalf("kindswitch diagnostic has no suggested fix: %s", d)
+			}
+			fixable = append(fixable, d)
+		}
+	}
+	if len(fixable) != 1 {
+		t.Fatalf("got %d kindswitch diagnostics, want 1: %v", len(fixable), diags)
+	}
+	if !strings.Contains(fixable[0].Message, "kB, kC") {
+		t.Errorf("diagnostic should name the missing members kB, kC: %s", fixable[0].Message)
+	}
+
+	changed, skipped, err := ApplyFixes(root, fixable)
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if skipped != 0 || len(changed) != 1 || changed[0] != "enum.go" {
+		t.Fatalf("apply: changed=%v skipped=%d, want [enum.go] 0", changed, skipped)
+	}
+	fixed, err := os.ReadFile(filepath.Join(root, "enum.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fixed), "case kB, kC:") {
+		t.Fatalf("fix did not insert the missing case clause:\n%s", fixed)
+	}
+
+	// The fixed tree must be clean, and re-fixing must change nothing.
+	for _, d := range lintTemp(t, root) {
+		if d.Rule == "kindswitch" {
+			t.Fatalf("kindswitch still fires after fix: %s", d)
+		}
+	}
+	changed, _, err = ApplyFixes(root, lintTemp(t, root))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changed) != 0 {
+		t.Fatalf("second fix pass modified %v, want no-op", changed)
+	}
+	after, err := os.ReadFile(filepath.Join(root, "enum.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixed, after) {
+		t.Fatal("second fix pass changed file bytes")
+	}
+}
+
+// TestSchemaFixMigratesLiteral: the schemalit fix must swap the inline tag
+// for the registry constant and add the registry import.
+func TestSchemaFixMigratesLiteral(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"schema/schema.go": `package schema
+
+// ReportV1 tags report artifacts.
+const ReportV1 = "report/v1"
+`,
+		"writer.go": `package fixmod
+
+func tag() string {
+	return "report/v1"
+}
+`,
+	})
+	diags := lintTemp(t, root)
+	var fixable []Diagnostic
+	for _, d := range diags {
+		if d.Rule == "schemalit" {
+			fixable = append(fixable, d)
+		}
+	}
+	if len(fixable) != 1 || fixable[0].Fix == nil {
+		t.Fatalf("want exactly 1 fixable schemalit diagnostic, got %v", diags)
+	}
+	if _, _, err := ApplyFixes(root, fixable); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	fixed, err := os.ReadFile(filepath.Join(root, "writer.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"fixmod/schema"`, "schema.ReportV1"} {
+		if !strings.Contains(string(fixed), want) {
+			t.Errorf("fixed writer.go missing %s:\n%s", want, fixed)
+		}
+	}
+	for _, d := range lintTemp(t, root) {
+		if d.Rule == "schemalit" {
+			t.Fatalf("schemalit still fires after fix: %s", d)
+		}
+	}
+}
+
+// TestCacheColdWarmPartial pins the three cache regimes: a cold run misses,
+// an unchanged rerun is a whole-module hit with identical diagnostics, and
+// editing one package invalidates only its own cone of the import graph.
+func TestCacheColdWarmPartial(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"base/base.go": `package base
+
+import "time"
+
+// Stamp leaks wall-clock time into the run.
+func Stamp() time.Time {
+	return time.Now()
+}
+`,
+		"top/top.go": `package top
+
+import "fixmod/base"
+
+// Use keeps base linked in.
+func Use() bool {
+	return base.Stamp().IsZero()
+}
+`,
+	})
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	run := func() *Result {
+		res, err := Lint(Config{Root: root, CacheDir: cacheDir})
+		if err != nil {
+			t.Fatalf("lint: %v", err)
+		}
+		return res
+	}
+
+	cold := run()
+	if cold.ModuleHit || cold.PkgHits != 0 {
+		t.Fatalf("cold run: ModuleHit=%v PkgHits=%d, want miss", cold.ModuleHit, cold.PkgHits)
+	}
+	if len(cold.Diags) != 1 || cold.Diags[0].Rule != "walltime" {
+		t.Fatalf("cold run diags = %v, want one walltime", cold.Diags)
+	}
+
+	warm := run()
+	if !warm.ModuleHit {
+		t.Fatal("unchanged rerun was not a module-level cache hit")
+	}
+	if len(warm.Diags) != 1 || warm.Diags[0] != cold.Diags[0] {
+		t.Fatalf("warm diags %v differ from cold %v", warm.Diags, cold.Diags)
+	}
+
+	// Touch the importing package only: base's per-package entry stays valid.
+	top := filepath.Join(root, "top", "top.go")
+	data, err := os.ReadFile(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(top, append(data, []byte("\n// edited\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	partial := run()
+	if partial.ModuleHit {
+		t.Fatal("module hit after an edit")
+	}
+	if partial.PkgHits == 0 {
+		t.Fatal("editing top should leave base served from the cache")
+	}
+	if len(partial.Diags) != 1 || partial.Diags[0] != cold.Diags[0] {
+		t.Fatalf("partial diags %v differ from cold %v", partial.Diags, cold.Diags)
+	}
+}
+
+// TestReportRoundTrip pins the simlint-diag/v1 artifact: schema tag, count
+// invariant, and lossless fix round-tripping.
+func TestReportRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Pos:     token.Position{Filename: "a.go", Line: 3, Column: 7},
+			Rule:    "kindswitch",
+			Message: "switch misses kB",
+			Fix: &SuggestedFix{
+				Message: "insert case kB",
+				Edits:   []TextEdit{{File: "a.go", Start: 40, End: 40, NewText: "case kB:\n"}},
+			},
+		},
+		{Pos: token.Position{Filename: "b.go", Line: 9, Column: 1}, Rule: "walltime", Message: "time.Now"},
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, NewReport("oversub", diags)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), schema.DiagV1) {
+		t.Fatalf("artifact is missing its schema tag:\n%s", buf.String())
+	}
+	rt, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Module != "oversub" || rt.Count != 2 || len(rt.Diagnostics) != 2 {
+		t.Fatalf("round trip lost shape: %+v", rt)
+	}
+	if rt.Diagnostics[0].Fix == nil || rt.Diagnostics[0].Fix.Edits[0].NewText != "case kB:\n" {
+		t.Fatalf("round trip lost the suggested fix: %+v", rt.Diagnostics[0])
+	}
+	if rt.Diagnostics[1].Fix != nil {
+		t.Fatal("fixless diagnostic grew a fix")
+	}
+
+	// A mismatched count must be rejected, not silently accepted.
+	bad := strings.Replace(buf.String(), `"count": 2`, `"count": 5`, 1)
+	if _, err := ReadReport(strings.NewReader(bad)); err == nil {
+		t.Fatal("ReadReport accepted a report whose count disagrees with its diagnostics")
+	}
+}
+
+// TestFilterBaseline pins the suppression key: (file, rule, message) —
+// line-independent, so unrelated edits above a tolerated finding do not
+// resurrect it, while new findings in the same file still surface.
+func TestFilterBaseline(t *testing.T) {
+	tolerated := Diagnostic{
+		Pos:     token.Position{Filename: "x.go", Line: 10},
+		Rule:    "walltime",
+		Message: "time.Now leaks wall-clock",
+	}
+	moved := tolerated
+	moved.Pos.Line = 99
+	fresh := Diagnostic{
+		Pos:     token.Position{Filename: "x.go", Line: 11},
+		Rule:    "walltime",
+		Message: "time.Since leaks wall-clock",
+	}
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, NewReport("oversub", []Diagnostic{tolerated})); err != nil {
+		t.Fatal(err)
+	}
+	basePath := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(basePath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FilterBaseline([]Diagnostic{moved, fresh}, base)
+	if len(got) != 1 || got[0].Message != fresh.Message {
+		t.Fatalf("FilterBaseline = %v, want only the fresh finding", got)
+	}
+
+	// A missing baseline file filters nothing.
+	empty, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := FilterBaseline([]Diagnostic{fresh}, empty); len(got) != 1 {
+		t.Fatalf("empty baseline dropped diagnostics: %v", got)
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"oversub/internal/schema"
+)
+
+// A Report is the JSON artifact format for simlint diagnostics
+// (schema.DiagV1). The same format serves two roles: the -json output
+// consumed by CI tooling, and the -baseline file that grandfathers known
+// findings while new code is held to zero.
+type Report struct {
+	// Schema is always schema.DiagV1; readers reject anything else.
+	Schema string `json:"schema"`
+	// Module is the module path the diagnostics were produced for.
+	Module string `json:"module"`
+	// Count duplicates len(Diagnostics) for cheap shell-side assertions.
+	Count int `json:"count"`
+	// Diagnostics are the findings, in SortDiagnostics order.
+	Diagnostics []ReportDiag `json:"diagnostics"`
+}
+
+// A ReportDiag is one diagnostic in artifact form. File is root-relative
+// with forward slashes, so artifacts are byte-identical across checkouts.
+type ReportDiag struct {
+	File    string        `json:"file"`
+	Line    int           `json:"line"`
+	Col     int           `json:"col"`
+	Rule    string        `json:"rule"`
+	Message string        `json:"message"`
+	Fix     *SuggestedFix `json:"fix,omitempty"`
+}
+
+// NewReport builds the artifact for a diagnostic list.
+func NewReport(module string, diags []Diagnostic) *Report {
+	r := &Report{Schema: schema.DiagV1, Module: module, Count: len(diags), Diagnostics: []ReportDiag{}}
+	for _, d := range diags {
+		r.Diagnostics = append(r.Diagnostics, ReportDiag{
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Col:     d.Pos.Column,
+			Rule:    d.Rule,
+			Message: d.Message,
+			Fix:     d.Fix,
+		})
+	}
+	return r
+}
+
+// WriteReport encodes the report deterministically (indented, trailing
+// newline) to w.
+func WriteReport(w io.Writer, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ReadReport decodes and schema-validates a report.
+func ReadReport(r io.Reader) (*Report, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("analysis: bad diagnostics artifact: %w", err)
+	}
+	if rep.Schema != schema.DiagV1 {
+		return nil, fmt.Errorf("analysis: diagnostics artifact has schema %q, want %q", rep.Schema, schema.DiagV1)
+	}
+	if rep.Count != len(rep.Diagnostics) {
+		return nil, fmt.Errorf("analysis: diagnostics artifact count %d does not match %d entries", rep.Count, len(rep.Diagnostics))
+	}
+	return &rep, nil
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so the flag can point at a not-yet-created
+// path.
+func LoadBaseline(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return &Report{Schema: schema.DiagV1, Diagnostics: []ReportDiag{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadReport(f)
+}
+
+// baselineKey identifies a finding independent of line and column, so a
+// baseline survives unrelated edits shifting code up or down.
+type baselineKey struct {
+	file, rule, message string
+}
+
+// FilterBaseline drops the diagnostics matched by the baseline, matching
+// on (file, rule, message) — deliberately not on line numbers. Each
+// baseline entry absorbs any number of identical findings in its file;
+// it never touches findings in other files or with other messages.
+func FilterBaseline(diags []Diagnostic, base *Report) []Diagnostic {
+	if base == nil || len(base.Diagnostics) == 0 {
+		return diags
+	}
+	known := map[baselineKey]bool{}
+	for _, d := range base.Diagnostics {
+		known[baselineKey{d.File, d.Rule, d.Message}] = true
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		if !known[baselineKey{d.Pos.Filename, d.Rule, d.Message}] {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SeedTaint is the dataflow upgrade of PR 2's local seedflow rule: every
+// engine RNG must derive from the run seed, and no RNG may be reachable
+// from two goroutines.
+//
+// Three checks:
+//
+//  1. Seed provenance. Every sim.NewRand / sim.NewEngine seed must be
+//     threaded explicitly from configuration — literals, constants,
+//     fields, parameters, arithmetic over those, or values derived inside
+//     the sim package itself (Rand.Uint64, Rand.Split). Unlike seedflow,
+//     the check follows dataflow: a seed held in a local variable is
+//     traced through its assignments, and a seed arriving through a
+//     parameter is traced into every static caller, module-wide. A seed
+//     manufactured from anything else — time.Now().UnixNano(),
+//     os.Getpid(), a hash call — silently severs the run from its seed.
+//
+//  2. No package-level RNGs. A package-level *sim.Rand is shared by every
+//     run (and every goroutine) in the process; RNG state must be
+//     run-local so parallel experiment fleets stay independent.
+//
+//  3. No cross-goroutine RNGs. A *sim.Rand captured by a go-launched
+//     closure is reachable from two goroutines; sim.Rand is deliberately
+//     unsynchronized, and even with a lock the interleaving would make
+//     draws order-dependent. Subsystems take a Split() child instead —
+//     the precondition for sharding the event loop (ROADMAP item 1).
+var SeedTaint = &Analyzer{
+	Name:   "seedtaint",
+	Doc:    "engine RNG seeds must derive from the run seed; RNGs must not be package-level or goroutine-shared",
+	Run:    runSeedTaint,
+	Finish: finishSeedTaint,
+}
+
+// seedCtors are the sim-package constructors whose first argument is a
+// seed.
+var seedCtors = map[string]bool{
+	"NewRand":   true,
+	"NewEngine": true,
+}
+
+func runSeedTaint(pass *Pass) {
+	dataflow(pass) // index the package; everything else happens in Finish
+}
+
+func finishSeedTaint(pass *Pass) {
+	ix, ok := pass.suite.state[dataflowKey].(*dfIndex)
+	if !ok {
+		return
+	}
+	st := &seedTaint{pass: pass, ix: ix, seenVar: map[seedVarKey]bool{}, seenParam: map[seedParamKey]bool{}}
+	for _, pkg := range ix.pkgs {
+		if !pass.InScope(pkg.Path) {
+			continue
+		}
+		st.checkPackage(pkg)
+	}
+}
+
+type seedVarKey struct {
+	fn *dfFunc
+	v  *types.Var
+}
+
+type seedParamKey struct {
+	fn  *types.Func
+	idx int
+}
+
+type seedTaint struct {
+	pass      *Pass
+	ix        *dfIndex
+	seenVar   map[seedVarKey]bool
+	seenParam map[seedParamKey]bool
+}
+
+func (st *seedTaint) checkPackage(pkg *Package) {
+	// Check 2: package-level RNG vars.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					v, ok := pkg.Info.Defs[name].(*types.Var)
+					if ok && isSimRand(v.Type()) {
+						st.pass.Reportf(name.Pos(),
+							"package-level *sim.Rand %s is shared by every run and goroutine in the process; RNG state must be run-local, threaded from the seed", name.Name)
+					}
+				}
+			}
+		}
+	}
+
+	// Checks 1 and 3 walk the indexed declarations.
+	for _, df := range st.ix.funcs {
+		if df.pkg != pkg || df.decl.Body == nil {
+			continue
+		}
+		st.checkSeedCalls(df)
+		st.checkGoCaptures(df)
+	}
+}
+
+// checkSeedCalls validates the seed argument of every sim constructor call
+// inside fn.
+func (st *seedTaint) checkSeedCalls(fn *dfFunc) {
+	for _, edge := range st.ix.callsIn[fn] {
+		callee := edge.callee
+		if callee.Pkg() == nil || !isSimPackage(callee.Pkg()) || !seedCtors[callee.Name()] {
+			continue
+		}
+		if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() != nil {
+			continue
+		}
+		if len(edge.call.Args) == 0 {
+			continue
+		}
+		st.traceSeed(fn, edge.call.Args[0], func(badFn *dfFunc, bad ast.Expr, via string) {
+			st.pass.Reportf(bad.Pos(),
+				"sim.%s seeded from %s%s: engine seeds must be threaded explicitly from the run configuration",
+				callee.Name(), types.ExprString(bad), via)
+		})
+	}
+}
+
+// traceSeed walks a seed expression in the context of fn, following local
+// definitions and — when the seed arrives through a parameter — every
+// static call site module-wide. onBad fires for each sub-expression that
+// is not an explicitly threaded value; via describes the interprocedural
+// hop ("" at the original call).
+func (st *seedTaint) traceSeed(fn *dfFunc, e ast.Expr, onBad func(*dfFunc, ast.Expr, string)) {
+	st.trace(fn, e, "", onBad)
+}
+
+func (st *seedTaint) trace(fn *dfFunc, e ast.Expr, via string, onBad func(*dfFunc, ast.Expr, string)) {
+	info := fn.pkg.Info
+	// Constant expressions of any shape are threaded by definition.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		return
+	case *ast.ParenExpr:
+		st.trace(fn, e.X, via, onBad)
+	case *ast.UnaryExpr:
+		st.trace(fn, e.X, via, onBad)
+	case *ast.BinaryExpr:
+		st.trace(fn, e.X, via, onBad)
+		st.trace(fn, e.Y, via, onBad)
+	case *ast.IndexExpr:
+		st.trace(fn, e.X, via, onBad)
+		st.trace(fn, e.Index, via, onBad)
+	case *ast.SelectorExpr:
+		if _, isFunc := info.Uses[e.Sel].(*types.Func); isFunc {
+			onBad(fn, e, via)
+		}
+	case *ast.Ident:
+		st.traceIdent(fn, e, via, onBad)
+	case *ast.CallExpr:
+		if tv, ok := info.Types[e.Fun]; ok && tv.IsType() {
+			if len(e.Args) == 1 {
+				st.trace(fn, e.Args[0], via, onBad) // conversion: judge the operand
+				return
+			}
+			onBad(fn, e, via)
+			return
+		}
+		callee := calleeFunc(info, e)
+		if callee != nil && isSimPackage(callee.Pkg()) {
+			// Derivations inside the sim package (Rand.Uint64, Split, ...)
+			// are deterministic by construction; judge their inputs.
+			for _, a := range e.Args {
+				st.trace(fn, a, via, onBad)
+			}
+			return
+		}
+		onBad(fn, e, via)
+	default:
+		onBad(fn, e, via)
+	}
+}
+
+func (st *seedTaint) traceIdent(fn *dfFunc, id *ast.Ident, via string, onBad func(*dfFunc, ast.Expr, string)) {
+	info := fn.pkg.Info
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	switch obj := obj.(type) {
+	case *types.Func:
+		onBad(fn, id, via)
+	case *types.Var:
+		if obj.IsField() || (obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()) {
+			return // config field or package-level knob: explicitly threaded
+		}
+		if idx := paramIndex(fn, obj); idx >= 0 {
+			st.traceParam(fn, obj, idx, onBad)
+			return
+		}
+		key := seedVarKey{fn: fn, v: obj}
+		if st.seenVar[key] {
+			return
+		}
+		st.seenVar[key] = true
+		for _, def := range st.ix.localDefs(fn)[obj] {
+			st.trace(fn, def, via, onBad)
+		}
+	}
+}
+
+// traceParam follows a seed that arrives through fn's idx-th parameter
+// into every static caller in the module.
+func (st *seedTaint) traceParam(fn *dfFunc, param *types.Var, idx int, onBad func(*dfFunc, ast.Expr, string)) {
+	key := seedParamKey{fn: fn.obj, idx: idx}
+	if st.seenParam[key] {
+		return
+	}
+	st.seenParam[key] = true
+	via := " (flowing into seed parameter " + param.Name() + " of " + fn.obj.Name() + ")"
+	for _, edge := range st.ix.callersOf[fn.obj] {
+		if edge.caller == nil || idx >= len(edge.call.Args) {
+			continue
+		}
+		st.trace(edge.caller, edge.call.Args[idx], via, onBad)
+	}
+}
+
+// checkGoCaptures flags *sim.Rand variables captured by go-launched
+// closures inside fn.
+func (st *seedTaint) checkGoCaptures(fn *dfFunc) {
+	info := fn.pkg.Info
+	ast.Inspect(fn.decl.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		reported := map[*types.Var]bool{}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			id, ok := m.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := info.Uses[id].(*types.Var)
+			if !ok || reported[v] || !isSimRand(v.Type()) {
+				return true
+			}
+			// Declared inside the closure itself: owned, not captured.
+			if v.Pos() >= lit.Pos() && v.Pos() <= lit.End() {
+				return true
+			}
+			reported[v] = true
+			st.pass.Reportf(id.Pos(),
+				"*sim.Rand %s is captured by a goroutine: an RNG must be owned by exactly one goroutine — pass a Split() child instead", id.Name)
+			return true
+		})
+		return true
+	})
+}

@@ -12,7 +12,7 @@ func heartbeat() time.Time {
 func watchdog() time.Duration {
 	//simlint:allow walltime -- standalone directive covers the next line
 	t0 := time.Now()
-	return time.Since(t0) //simlint:allow walltime
+	return time.Since(t0) //simlint:allow walltime -- pairs with the annotated t0 above
 }
 
 func spawnAndDrain(work func(), pending map[int]func()) {

@@ -1,0 +1,19 @@
+// Package allowreason seeds violations for simlint's allowreason rule:
+// bare allow directives and directives naming unknown rules. The want
+// expectations ride in block comments so they can share a line with the
+// directive under test.
+package allowreason
+
+import "time"
+
+func bare() time.Time {
+	return time.Now() /* // want `\[allowreason\] allow directive has no reason` */ //simlint:allow walltime
+}
+
+func typo() time.Time {
+	return time.Now() /* // want `\[allowreason\] allow directive names unknown rule waltime` `\[walltime\] time\.Now` */ //simlint:allow waltime -- suppresses nothing
+}
+
+func sound() time.Time {
+	return time.Now() //simlint:allow walltime -- audited: fixture's only legitimate exemption
+}

@@ -5,8 +5,10 @@ package atomics
 
 import "sync/atomic"
 
-// counter mixes atomic and plain access to the same package-level var.
-var counter uint64
+// counter mixes atomic and plain access to the same package-level var —
+// and, being package-level mutable state, is also exactly what the
+// sharedstate rule exists to keep out of simulation scope.
+var counter uint64 // want `\[sharedstate\] package-level var counter is mutable \(address taken at atomics\.go:\d+\)`
 
 func bump() {
 	atomic.AddUint64(&counter, 1)

@@ -1,0 +1,67 @@
+// Package hotpath seeds violations for simlint's hotpath rule:
+// allocation sources inside //simlint:hotpath functions, found directly
+// and through the static call graph.
+package hotpath
+
+import "fmt"
+
+type queue struct {
+	items []int
+	n     int
+}
+
+func sink(v any) { _ = v }
+
+//simlint:hotpath
+func push(q *queue, v int) {
+	fn := func() int { return v } // want `\[hotpath\] hot path push contains a closure`
+	q.items = append(q.items, fn())
+}
+
+//simlint:hotpath
+func popLabel(q *queue) string {
+	q.n--
+	return fmt.Sprintf("n=%d", q.n) // want `\[hotpath\] hot path popLabel calls fmt\.Sprintf, which allocates`
+}
+
+//simlint:hotpath
+func index(q *queue) map[int]int {
+	m := map[int]int{q.n: q.n} // want `\[hotpath\] hot path index allocates a map literal`
+	return m
+}
+
+//simlint:hotpath
+func grow(q *queue) {
+	q.items = make([]int, q.n) // want `\[hotpath\] hot path grow allocates with make\(\[\]int\)`
+}
+
+//simlint:hotpath
+func box(q *queue) {
+	sink(q.n) // want `\[hotpath\] hot path box boxes q\.n \(int\) into any`
+}
+
+//simlint:hotpath
+func guarded(q *queue) {
+	// panic arguments are the sanctioned cold path: the program is dying.
+	if q.n < 0 {
+		panic(fmt.Sprintf("negative queue length %d", q.n))
+	}
+	q.n++
+}
+
+// helper is not itself hot, but fast reaches it through the call graph.
+func helper(q *queue) []int {
+	return []int{q.n}
+}
+
+//simlint:hotpath
+func fast(q *queue) {
+	helper(q) // want `\[hotpath\] hot path fast calls helper, which allocates a slice literal \(hotpath\.go:\d+ via helper\)`
+	q.n++
+}
+
+// cold allocates freely: no annotation, no constraints.
+func cold(q *queue) any {
+	_ = fmt.Sprint(q.n)
+	return q.n
+}

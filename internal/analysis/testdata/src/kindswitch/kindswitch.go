@@ -1,0 +1,81 @@
+// Package kindswitch seeds violations for simlint's kindswitch rule:
+// non-exhaustive switches over closed enums.
+package kindswitch
+
+type kind uint8
+
+const (
+	spawn kind = iota
+	dispatch
+	preempt
+	exit
+)
+
+// aliased shares exit's value: members are distinct constant values, so
+// covering exit covers aliased too.
+const aliased = exit
+
+type mode string
+
+const (
+	modeFIFO mode = "fifo"
+	modeEDF  mode = "edf"
+)
+
+func full(k kind) int {
+	switch k {
+	case spawn:
+		return 1
+	case dispatch, preempt:
+		return 2
+	case exit:
+		return 3
+	}
+	return 0
+}
+
+func missing(k kind) int {
+	switch k { // want `\[kindswitch\] switch over kind has no default clause and misses preempt, exit`
+	case spawn:
+		return 1
+	case dispatch:
+		return 2
+	}
+	return 0
+}
+
+func declared(k kind) int {
+	// A default clause declares intended partial coverage.
+	switch k {
+	case spawn:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func stringEnum(m mode) bool {
+	switch m { // want `\[kindswitch\] switch over mode has no default clause and misses modeEDF`
+	case modeFIFO:
+		return true
+	}
+	return false
+}
+
+func notAnEnum(n int) int {
+	// int is not a closed enum: no package-level constant set defines it.
+	switch n {
+	case 1:
+		return 1
+	}
+	return 0
+}
+
+func nonConstant(k, other kind) int {
+	// Non-constant cases make coverage undecidable; the switch is skipped.
+	switch k {
+	case other:
+		return 1
+	}
+	return 0
+}

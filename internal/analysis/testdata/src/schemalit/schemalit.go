@@ -1,0 +1,22 @@
+// Package schemalit seeds violations for simlint's schemalit rule:
+// inline "name/vN" schema tags outside the registry package.
+package schemalit
+
+// An inline tag in a const declaration drifts from the registry.
+const reportSchema = "bench-report/v2" // want `\[schemalit\] schema tag "bench-report/v2" is spelled inline`
+
+type header struct{ Schema string }
+
+func stamp() header {
+	return header{Schema: "fleet-summary/v1"} // want `\[schemalit\] schema tag "fleet-summary/v1" is spelled inline`
+}
+
+func check(h header) bool {
+	return h.Schema == "fleet-summary/v1" // want `\[schemalit\] schema tag "fleet-summary/v1" is spelled inline`
+}
+
+func unrelated() string {
+	// Multi-segment paths, bare words, uppercase, and missing versions are
+	// not schema tags.
+	return "a/b/v1" + "not-a-tag" + "Upper/v1" + "trailing/v"
+}

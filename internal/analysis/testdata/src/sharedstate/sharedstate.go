@@ -1,0 +1,32 @@
+// Package sharedstate seeds violations for simlint's sharedstate rule:
+// package-level variables with module-wide mutation evidence.
+package sharedstate
+
+// Directly assigned from a function: mutable, and shared across shards.
+var counter int // want `\[sharedstate\] package-level var counter is mutable \(assigned at sharedstate\.go:\d+\)`
+
+// Mutated through an element store.
+var registry = map[string]int{} // want `\[sharedstate\] package-level var registry is mutable \(mutated via element or field at sharedstate\.go:\d+\)`
+
+// Incremented.
+var hits int // want `\[sharedstate\] package-level var hits is mutable \(incremented at sharedstate\.go:\d+\)`
+
+// Address escapes: anyone holding the pointer can write it.
+var knob int // want `\[sharedstate\] package-level var knob is mutable \(address taken at sharedstate\.go:\d+\)`
+
+// Read-only lookup tables initialized at declaration stay legal: Go just
+// lacks const composites.
+var costTable = [4]int{10, 20, 40, 80}
+
+var names = []string{"spawn", "exit"}
+
+func touch(k string) int {
+	counter = 1
+	registry[k] = registry[k] + 1
+	hits++
+	return costTable[2] + len(names)
+}
+
+func escape() *int {
+	return &knob
+}

@@ -322,6 +322,8 @@ func Run(cfg FleetConfig) (*FleetResult, error) {
 			mc.det = bwd.New(k, bwd.Config{Mode: bwd.ModeBWD})
 		case workload.DetectPLE:
 			mc.det = bwd.New(k, bwd.Config{Mode: bwd.ModePLE})
+		case workload.DetectOff:
+			// Vanilla machines run without wake-assist.
 		}
 		tbl := futex.NewTable(k, 0)
 		for ti := range cfg.Tenants {

@@ -5,12 +5,13 @@ import (
 	"fmt"
 	"io"
 
+	"oversub/internal/schema"
 	"oversub/internal/sim"
 )
 
 // Schema identifies the fleet report JSON envelope. Consumers must check
 // it before parsing; it is bumped on any incompatible change.
-const Schema = "oversub-fleet/v1"
+const Schema = schema.FleetV1
 
 // Cell is one (policy, variant, machine-count) grid point of a fleet
 // sweep. All fields are derived values in fixed units — no sim types, no

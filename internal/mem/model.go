@@ -208,38 +208,42 @@ func (m *Model) PerAccessNS(f Footprint, k int) float64 {
 	return c
 }
 
+// lines converts a byte count into cache lines.
+func (m *Model) lines(b int64) float64 { return float64(b) / float64(m.Geo.LineSize) }
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
 // PerSwitchCost returns the warm-state refill penalty charged to a thread
 // with footprint f when it is dispatched after a different thread ran on the
-// core.
+// core. It runs on the dispatch path, so its helpers are methods rather than
+// closures.
 func (m *Model) PerSwitchCost(f Footprint) sim.Duration {
 	if f.Zero() {
 		return 0
-	}
-	lines := func(b int64) float64 { return float64(b) / float64(m.Geo.LineSize) }
-	minI := func(a, b int64) int64 {
-		if a < b {
-			return a
-		}
-		return b
 	}
 	var ns float64
 	if f.Pattern.Sequential() {
 		// Re-streaming the polluted portion of the hierarchy (bounded by L3).
 		resident := minI(f.Bytes, m.Geo.L3)
-		ns = lines(resident) * m.SeqRefillPerLine
+		ns = m.lines(resident) * m.SeqRefillPerLine
 		if f.Pattern.Writes() {
-			ns += lines(resident) * m.WritebackPerLine
+			ns += m.lines(resident) * m.WritebackPerLine
 		}
 	} else {
 		if f.Pattern == RndRead {
 			// Destroyed L1/L2 residency must be refilled from L3.
-			ns = lines(minI(f.Bytes, m.Geo.L2))*m.L2RefillPerLine +
-				lines(minI(f.Bytes, m.Geo.L1D))*m.L1RefillPerLine
+			ns = m.lines(minI(f.Bytes, m.Geo.L2))*m.L2RefillPerLine +
+				m.lines(minI(f.Bytes, m.Geo.L1D))*m.L1RefillPerLine
 		} else {
 			// RMW: dirty lines are written back regardless of switching, so
 			// the L2 is "not an important factor" (paper §2.3); only the L1
 			// refill remains.
-			ns = lines(minI(f.Bytes, m.Geo.L1D)) * m.L1RefillPerLine
+			ns = m.lines(minI(f.Bytes, m.Geo.L1D)) * m.L1RefillPerLine
 		}
 	}
 	return sim.Duration(ns)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"oversub/internal/schema"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -13,7 +14,7 @@ import (
 // BenchSchema versions the BENCH_*.json document shape. Bump it when a
 // field changes meaning; Validate rejects mismatched schemas so a report
 // written by a newer harness is never silently half-read.
-const BenchSchema = "oversub-bench/v1"
+const BenchSchema = schema.BenchV1
 
 // BenchCase is one workload cell of the continuous-benchmark matrix: how
 // fast the host simulated it. All numbers are host-side observations

@@ -6,11 +6,12 @@ import (
 	"io"
 	"strings"
 
+	"oversub/internal/schema"
 	"oversub/internal/sim"
 )
 
 // SeriesSchema versions the JSON export envelope.
-const SeriesSchema = "oversub-metrics/v1"
+const SeriesSchema = schema.MetricsV1
 
 // jsonEnvelope is the WriteJSON document: a schema tag, the base
 // sampling interval, and the sample array.

@@ -73,15 +73,15 @@ func (k *Kernel) pullFromBusiest(c *cpu, maxPull int) int {
 // last and are never candidates.
 func (k *Kernel) stealCandidate(c *cpu) *Thread {
 	var cand *Thread
-	c.tree.Each(func(v *Thread) bool {
+	for n := c.tree.Min(); n != nil; n = c.tree.Next(n) {
+		v := n.Value
 		if v.vblocked {
-			return false
+			break // blocked threads sort last; no candidates beyond
 		}
 		if v.pinned < 0 {
 			cand = v
 		}
-		return true
-	})
+	}
 	return cand
 }
 

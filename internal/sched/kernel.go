@@ -446,6 +446,8 @@ func (k *Kernel) idlestCPU(prevCPU int) int {
 
 // enqueue inserts t into c's runqueue. The caller is responsible for
 // migration accounting and vruntime placement.
+//
+//simlint:hotpath
 func (k *Kernel) enqueue(c *cpu, t *Thread) {
 	if t.node != nil {
 		panic(fmt.Sprintf("sched: %v already enqueued", t))
@@ -463,6 +465,8 @@ func (k *Kernel) enqueue(c *cpu, t *Thread) {
 }
 
 // dequeue removes t from its runqueue.
+//
+//simlint:hotpath
 func (k *Kernel) dequeue(t *Thread) {
 	c := k.cpus[t.cpu]
 	if t.node == nil {
@@ -477,6 +481,8 @@ func (k *Kernel) dequeue(t *Thread) {
 
 // reschedule requests a dispatch pass on c at the current time, coalescing
 // duplicates.
+//
+//simlint:hotpath
 func (k *Kernel) reschedule(c *cpu) {
 	if c.schedQueued {
 		return
@@ -488,38 +494,46 @@ func (k *Kernel) reschedule(c *cpu) {
 // Package-level trampolines for AtCall/AfterCall: non-capturing functions
 // whose state travels inline in the event node, keeping the kernel's hot
 // scheduling paths free of per-event closure allocations.
+//
+//simlint:hotpath
 func reschedCall(arg any, _, _ uint64) {
 	c := arg.(*cpu)
 	c.schedQueued = false
 	c.k.schedule(c)
 }
 
+//simlint:hotpath
 func overheadDoneCall(arg any, _, _ uint64) {
 	c := arg.(*cpu)
 	c.k.closeSegment(c)
 	c.k.execute(c)
 }
 
+//simlint:hotpath
 func finishRunCall(arg any, cpuID, epoch uint64) {
 	t := arg.(*Thread)
 	t.k.finishRun(t.k.cpus[cpuID], t, epoch)
 }
 
+//simlint:hotpath
 func finishSpinCall(arg any, cpuID, epoch uint64) {
 	t := arg.(*Thread)
 	t.k.finishSpin(t.k.cpus[cpuID], t, epoch)
 }
 
+//simlint:hotpath
 func finishSpinDeadlineCall(arg any, cpuID, epoch uint64) {
 	t := arg.(*Thread)
 	t.k.finishSpinDeadline(t.k.cpus[cpuID], t, epoch)
 }
 
+//simlint:hotpath
 func timerWakeCall(arg any, _, _ uint64) {
 	t := arg.(*Thread)
 	t.k.timerWake(t)
 }
 
+//simlint:hotpath
 func preemptNowCall(arg any, cpuID, _ uint64) {
 	t := arg.(*Thread)
 	t.k.preemptNow(t.k.cpus[cpuID], t)
@@ -527,6 +541,8 @@ func preemptNowCall(arg any, cpuID, _ uint64) {
 
 // pickNext returns the next eligible thread on c, honouring BWD skip flags;
 // nil if only virtually blocked (or no) threads remain.
+//
+//simlint:hotpath
 func (k *Kernel) pickNext(c *cpu) *Thread {
 	var fallback *Thread
 	for n := c.tree.Min(); n != nil; n = c.tree.Next(n) {
@@ -546,6 +562,8 @@ func (k *Kernel) pickNext(c *cpu) *Thread {
 }
 
 // schedule dispatches the next thread on c if it is not running one.
+//
+//simlint:hotpath
 func (k *Kernel) schedule(c *cpu) {
 	if !c.enabled || c.curr != nil {
 		return
@@ -598,6 +616,8 @@ func (k *Kernel) schedule(c *cpu) {
 }
 
 // armSlice rearms the slice-expiry timer for the current thread.
+//
+//simlint:hotpath
 func (k *Kernel) armSlice(c *cpu) {
 	n := c.eligible()
 	if n < 1 {
@@ -611,12 +631,16 @@ func (k *Kernel) armSlice(c *cpu) {
 }
 
 // speed returns the CPU-time-per-wall-time factor of c, reduced when its
-// SMT sibling is busy.
+// SMT sibling is busy. Siblings are enumerated arithmetically rather than
+// through Topology.SiblingsOf, whose returned slice would be a per-segment
+// allocation on the dispatch path.
 func (k *Kernel) speed(c *cpu) float64 {
-	if k.topo.ThreadsPerCore < 2 {
+	tpc := k.topo.ThreadsPerCore
+	if tpc < 2 {
 		return 1
 	}
-	for _, sib := range k.topo.SiblingsOf(c.id) {
+	first := k.topo.CoreOf(c.id) * tpc
+	for sib := first; sib < first+tpc; sib++ {
 		if sib != c.id && k.cpus[sib].isBusy {
 			return k.costs.SMTFactor
 		}
@@ -684,6 +708,9 @@ func (k *Kernel) closeSegment(c *cpu) {
 		t.SpinTime += cpuT
 		t.vruntime += t.scaleByWeight(cpuT)
 		c.core.AccountSpin(cpuT, t.req.sig)
+	case segNone:
+		// Unreachable: filtered by the early return above; listed so the
+		// switch stays exhaustive over segKind.
 	}
 	c.segKind = segNone
 }
@@ -695,6 +722,8 @@ func tightBranchFor(t *Thread) hw.BranchRecord {
 }
 
 // execute serves the current thread's pending request.
+//
+//simlint:hotpath
 func (k *Kernel) execute(c *cpu) {
 	t := c.curr
 	if t == nil {
@@ -738,6 +767,8 @@ func (k *Kernel) execute(c *cpu) {
 }
 
 // finishRun completes a Run/RunTight request.
+//
+//simlint:hotpath
 func (k *Kernel) finishRun(c *cpu, t *Thread, epoch uint64) {
 	if c.curr != t || t.req.epoch != epoch {
 		return
@@ -748,6 +779,8 @@ func (k *Kernel) finishRun(c *cpu, t *Thread, epoch uint64) {
 }
 
 // finishSpin completes a spin whose condition was observed true.
+//
+//simlint:hotpath
 func (k *Kernel) finishSpin(c *cpu, t *Thread, epoch uint64) {
 	if c.curr != t || t.req.epoch != epoch || t.req.kind != reqSpin {
 		return
@@ -765,6 +798,8 @@ func (k *Kernel) finishSpin(c *cpu, t *Thread, epoch uint64) {
 
 // finishSpinDeadline ends a timed spin whose deadline passed; unlike
 // finishSpin it completes regardless of the condition.
+//
+//simlint:hotpath
 func (k *Kernel) finishSpinDeadline(c *cpu, t *Thread, epoch uint64) {
 	if c.curr != t || t.req.epoch != epoch || t.req.kind != reqSpin {
 		return
@@ -775,6 +810,8 @@ func (k *Kernel) finishSpinDeadline(c *cpu, t *Thread, epoch uint64) {
 
 // Kick re-evaluates the spin conditions of threads currently spinning on a
 // CPU. Word mutations call it automatically.
+//
+//simlint:hotpath
 func (k *Kernel) Kick() {
 	for _, c := range k.cpus {
 		t := c.curr
@@ -790,6 +827,8 @@ func (k *Kernel) Kick() {
 
 // advance resumes the thread body to obtain its next request, then serves
 // it (or handles exit/descheduling directives applied during the switch).
+//
+//simlint:hotpath
 func (k *Kernel) advance(c *cpu) {
 	t := c.curr
 	t.proc.Switch()
@@ -830,6 +869,8 @@ func (k *Kernel) exitThread(c *cpu, t *Thread) {
 
 // applyDirective handles a freshly parked request that deschedules the
 // thread. It runs on the proc goroutine, inside the engine's Switch window.
+//
+//simlint:hotpath
 func (k *Kernel) applyDirective(t *Thread) {
 	c := k.cpus[t.cpu]
 	if c.curr != t {
@@ -871,6 +912,8 @@ func (k *Kernel) applyDirective(t *Thread) {
 }
 
 // offCPU removes the current thread from c, counting the context switch.
+//
+//simlint:hotpath
 func (k *Kernel) offCPU(c *cpu, t *Thread, voluntary bool) {
 	if c.curr != t {
 		panic("sched: offCPU of non-current thread")
@@ -889,6 +932,8 @@ func (k *Kernel) offCPU(c *cpu, t *Thread, voluntary bool) {
 }
 
 // sliceExpire handles the end of the current thread's time slice.
+//
+//simlint:hotpath
 func (k *Kernel) sliceExpire(c *cpu) {
 	t := c.curr
 	if t == nil {
@@ -924,6 +969,8 @@ func (k *Kernel) sliceExpire(c *cpu) {
 // Preempt forces the current thread of CPU id off, optionally setting the
 // BWD skip flag so it is not rescheduled until its peers have each run.
 // It is the action arm of busy-waiting detection and PLE.
+//
+//simlint:hotpath
 func (k *Kernel) Preempt(cpuID int, skip bool) {
 	c := k.cpus[cpuID]
 	t := c.curr
@@ -950,6 +997,8 @@ func (k *Kernel) Preempt(cpuID int, skip bool) {
 // core's LBR and PMC state reflect all activity up to the current instant.
 // Detector timers call it before reading the observables, mirroring how a
 // real timer interrupt naturally samples committed architectural state.
+//
+//simlint:hotpath
 func (k *Kernel) SyncWindow(cpuID int) {
 	c := k.cpus[cpuID]
 	if c.curr == nil || c.segKind == segNone {
@@ -984,6 +1033,7 @@ func (k *Kernel) exitVBIdle(c *cpu) {
 	k.eng.AfterCall(lat, vbExitCall, c, 0, 0)
 }
 
+//simlint:hotpath
 func vbExitCall(arg any, _, _ uint64) {
 	c := arg.(*cpu)
 	k := c.k
@@ -1002,6 +1052,8 @@ func vbExitCall(arg any, _, _ uint64) {
 
 // timerWake wakes a thread from a timed sleep: a cheap local wakeup from
 // interrupt context (no waker thread to charge).
+//
+//simlint:hotpath
 func (k *Kernel) timerWake(t *Thread) {
 	if t.state != StateSleeping {
 		return
@@ -1029,6 +1081,8 @@ func (k *Kernel) selectCPU(t *Thread) int {
 
 // placeWoken enqueues a woken thread on c with the sleeper bonus and
 // migration accounting.
+//
+//simlint:hotpath
 func (k *Kernel) placeWoken(c *cpu, t *Thread) {
 	if !c.enabled {
 		// The cpuset shrank while the waker was mid-path; retarget.
@@ -1101,6 +1155,8 @@ func (k *Kernel) checkPreemptGran(c *cpu, t *Thread, waker *Thread, gran sim.Dur
 }
 
 // preemptNow forces curr off c if it is still running.
+//
+//simlint:hotpath
 func (k *Kernel) preemptNow(c *cpu, curr *Thread) {
 	if c.curr != curr {
 		return
@@ -1120,6 +1176,8 @@ func (k *Kernel) preemptNow(c *cpu, curr *Thread) {
 // idlest-core selection, remote runqueue locking, enqueue, and the
 // preemption check. The waker's CPU time is consumed at each step, which is
 // what serializes bulk wakeups. t must be vanilla-blocked (StateSleeping).
+//
+//simlint:hotpath
 func (k *Kernel) WakeVanilla(waker *Thread, t *Thread) {
 	if t.state != StateSleeping {
 		return
@@ -1145,6 +1203,8 @@ func (k *Kernel) WakeVanilla(waker *Thread, t *Thread) {
 // WakeIRQ wakes a vanilla-blocked thread from interrupt context (e.g. a
 // network receive): the wakeup costs are charged to the target CPU as
 // kernel overhead rather than to a waker thread.
+//
+//simlint:hotpath
 func (k *Kernel) WakeIRQ(t *Thread) {
 	if t.state != StateSleeping {
 		return
@@ -1159,6 +1219,8 @@ func (k *Kernel) WakeIRQ(t *Thread) {
 // VWake clears t's thread_state flag, restoring it to normal scheduling on
 // its current runqueue — the virtual-blocking wakeup. waker is charged the
 // (small) flag-clear cost; pass nil from interrupt context.
+//
+//simlint:hotpath
 func (k *Kernel) VWake(waker *Thread, t *Thread) {
 	if !t.vblocked {
 		return

@@ -20,14 +20,20 @@ type KLock struct {
 	word   *Word
 	sig    hw.SpinSig
 	holder *Thread
+	// free is the spin condition, built once at construction so contended
+	// acquisitions re-arm the same function value instead of allocating a
+	// closure per spin.
+	free func() bool
 }
 
 // NewKLock allocates a kernel lock.
 func (k *Kernel) NewKLock(name uint64) *KLock {
-	return &KLock{
+	l := &KLock{
 		word: k.NewWord(0),
 		sig:  hw.NewSpinSig(0xffff800000000000+name*0x40, 6, false),
 	}
+	l.free = func() bool { return l.word.Load() == 0 }
+	return l
 }
 
 // Lock acquires the lock for t, spinning in kernel mode if contended.
@@ -40,7 +46,7 @@ func (l *KLock) Lock(t *Thread) {
 			l.holder = t
 			return
 		}
-		t.spinKernel(func() bool { return l.word.Load() == 0 }, l.sig)
+		t.spinKernel(l.free, l.sig)
 	}
 }
 

@@ -185,6 +185,8 @@ func (t *Thread) Lifetime() sim.Duration {
 
 // park hands the request to the kernel and suspends the body until the
 // request is complete.
+//
+//simlint:hotpath
 func (t *Thread) park(r request) {
 	r.epoch = t.req.epoch + 1
 	t.req = r

@@ -71,6 +71,8 @@ func (ev Event) At() Time {
 
 // Cancel prevents the event from firing. Cancelling an event that already
 // fired, was cancelled, or is the zero Event is a safe no-op.
+//
+//simlint:hotpath
 func (ev Event) Cancel() {
 	n := ev.n
 	if n == nil || n.gen != ev.gen || n.idx == idxFree {
@@ -173,6 +175,8 @@ func (e *Engine) recycle(n *node) {
 
 // enqueue stamps n with the next sequence number and queues it for time t
 // (heap, or the zero-delay ring when t == now).
+//
+//simlint:hotpath
 func (e *Engine) enqueue(n *node, t Time) Event {
 	e.seq++
 	n.at, n.seq = t, e.seq
@@ -188,6 +192,8 @@ func (e *Engine) enqueue(n *node, t Time) Event {
 
 // At schedules fn to run at time t. Scheduling in the past panics: the
 // simulation would lose causality.
+//
+//simlint:hotpath
 func (e *Engine) At(t Time, fn func()) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, e.now))
@@ -198,6 +204,8 @@ func (e *Engine) At(t Time, fn func()) Event {
 }
 
 // After schedules fn to run d from now. Negative d panics.
+//
+//simlint:hotpath
 func (e *Engine) After(d Duration, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
@@ -209,6 +217,8 @@ func (e *Engine) After(d Duration, fn func()) Event {
 // the event node itself, so a package-level (non-capturing) fn makes the
 // whole schedule/fire cycle allocation-free — the closure-free counterpart
 // of At for hot paths.
+//
+//simlint:hotpath
 func (e *Engine) AtCall(t Time, fn func(arg any, a, b uint64), arg any, a, b uint64) Event {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: event scheduled in the past: %v < now %v", t, e.now))
@@ -219,6 +229,8 @@ func (e *Engine) AtCall(t Time, fn func(arg any, a, b uint64), arg any, a, b uin
 }
 
 // AfterCall schedules fn(arg, a, b) to run d from now. Negative d panics.
+//
+//simlint:hotpath
 func (e *Engine) AfterCall(d Duration, fn func(arg any, a, b uint64), arg any, a, b uint64) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
@@ -236,6 +248,8 @@ func (e *Engine) Pending() int { return e.live }
 // Run executes events until the queue is empty, Stop is called, or the clock
 // would pass until (until <= 0 means no limit). It returns the time of the
 // last executed event (or the until horizon if it was reached).
+//
+//simlint:hotpath
 func (e *Engine) Run(until Time) Time {
 	e.stopped = false
 	for !e.stopped {
@@ -262,6 +276,8 @@ func (e *Engine) Run(until Time) Time {
 }
 
 // Step executes exactly one event, if any, and reports whether it did.
+//
+//simlint:hotpath
 func (e *Engine) Step() bool {
 	n := e.pop()
 	if n == nil {
@@ -280,6 +296,8 @@ func (e *Engine) Step() bool {
 // call so the pool stays hot — events the callback schedules reuse the node
 // immediately — and so handles to the firing event are already inert inside
 // the callback, matching Cancel-after-fire being a no-op.
+//
+//simlint:hotpath
 func (e *Engine) fire(n *node) {
 	if n.fnArg != nil {
 		fn, arg, a, b := n.fnArg, n.arg, n.a, n.b
@@ -299,6 +317,8 @@ func (e *Engine) fire(n *node) {
 // fifoFront returns the earliest valid node on the zero-delay ring without
 // consuming it, dropping tombstones. When the ring drains it is reset so
 // its backing array is reused.
+//
+//simlint:hotpath
 func (e *Engine) fifoFront() *node {
 	for e.fifoHead < len(e.fifo) {
 		ent := e.fifo[e.fifoHead]
@@ -315,6 +335,8 @@ func (e *Engine) fifoFront() *node {
 
 // pop removes and returns the globally earliest live event by (at, seq),
 // merging the zero-delay ring with the heap; nil if the queue is empty.
+//
+//simlint:hotpath
 func (e *Engine) pop() *node {
 	f := e.fifoFront()
 	if len(e.heap) > 0 {

@@ -70,15 +70,20 @@ func (p *Proc) Park() {
 }
 
 func (p *Proc) run() {
-	defer func() {
-		if r := recover(); r != nil {
-			p.panicked = r
-		}
-		p.finished = true
-		p.eng.removeProc(p)
-		p.parked <- struct{}{}
-	}()
+	defer p.finish()
 	p.body(p)
+}
+
+// finish runs deferred on the proc goroutine when the body returns or
+// panics: it records the panic, retires the proc from the registry, and
+// hands control back to the owner blocked in Switch.
+func (p *Proc) finish() {
+	if r := recover(); r != nil {
+		p.panicked = r
+	}
+	p.finished = true
+	p.eng.removeProc(p)
+	p.parked <- struct{}{}
 }
 
 // removeProc drops p from the ordered registry, preserving the

@@ -26,6 +26,8 @@ func (e *Engine) Timer(fn func()) *Timer {
 
 // Rearm schedules — or, if armed, reschedules — the timer to fire d from
 // now. Negative d panics.
+//
+//simlint:hotpath
 func (tm *Timer) Rearm(d Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
@@ -35,6 +37,8 @@ func (tm *Timer) Rearm(d Duration) {
 
 // RearmAt schedules — or, if armed, reschedules — the timer to fire at
 // time t. Scheduling in the past panics.
+//
+//simlint:hotpath
 func (tm *Timer) RearmAt(t Time) {
 	e, n := tm.eng, tm.n
 	if t < e.now {
@@ -66,6 +70,8 @@ func (tm *Timer) RearmAt(t Time) {
 
 // Stop disarms the timer. Stopping an unarmed timer is a no-op. The timer
 // stays usable: a later Rearm arms it again.
+//
+//simlint:hotpath
 func (tm *Timer) Stop() {
 	n := tm.n
 	if n.idx == idxFree {

@@ -125,6 +125,9 @@ func (a *Analytics) analyzeThreads(events []Event) {
 			s.breakdwn.Sleeping += d
 		case tkVBlocked:
 			s.breakdwn.VBlocked += d
+		case tkUnseen, tkExited:
+			// Threads accrue no state time before their first event or
+			// after exit.
 		}
 		s.since = until
 	}
@@ -163,6 +166,9 @@ func (a *Analytics) analyzeThreads(events []Event) {
 			s.kind = tkVBlocked
 		case Exit:
 			s.kind = tkExited
+		case CPUResize:
+			// A cpuset resize is a machine-level event; no thread changes
+			// state.
 		}
 		if e.Kind == Wake {
 			s.wakeAt = e.At
@@ -228,6 +234,10 @@ func (a *Analytics) analyzeDepths(events []Event) {
 			if s.depth > 0 {
 				s.depth--
 			}
+		default:
+			// Intentionally partial: queue depth moves only on enqueue
+			// (absolute resample via Arg) and dispatch; every other event
+			// kind leaves the estimate untouched.
 		}
 	}
 	for cpu := range ds {

@@ -83,6 +83,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			}
 			emit("{\"name\":%q,\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%d,\"args\":{\"thread\":%d,\"arg\":%d}}",
 				string(e.Kind), ts(ns), tid, e.Thread, e.Arg)
+		case Enqueue:
+			// Enqueues neither open nor close a running slice and emit no
+			// instant: queue motion is visible through Dispatch.
 		}
 	}
 	// Close slices still open at the end of the trace.

@@ -241,8 +241,12 @@ const (
 	LockTTAS
 	LockCNA
 	LockAQS
-	numSpinLocks
 )
+
+// numSpinLocks counts the members above. It is an int, not a
+// SpinLockKind: a count is not an enum member, and keeping it out of the
+// type keeps switches over SpinLockKind exhaustive at ten cases.
+const numSpinLocks = int(LockAQS) + 1
 
 // SpinLockKinds lists all ten kinds in paper order.
 func SpinLockKinds() []SpinLockKind {
@@ -321,6 +325,8 @@ func SpinPipeline(kind SpinLockKind, threads, cores int, detect Detection, vm bo
 		det = bwd.New(k, bwd.Config{Mode: bwd.ModeBWD})
 	case DetectPLE:
 		det = bwd.New(k, bwd.Config{Mode: bwd.ModePLE})
+	case DetectOff:
+		// No detector: the oversubscribed locks spin unassisted.
 	}
 	if det != nil {
 		det.Start()

@@ -151,6 +151,8 @@ func Run(spec *Spec, cfg RunConfig) Result {
 		det = bwd.New(k, bwd.Config{Mode: bwd.ModeBWD})
 	case DetectPLE:
 		det = bwd.New(k, bwd.Config{Mode: bwd.ModePLE})
+	case DetectOff:
+		// No detector: the baseline the paper's Figures compare against.
 	}
 
 	work := sim.Duration(float64(spec.TotalWork) * scale)
@@ -283,6 +285,8 @@ func (r *runner) prepare() {
 		for i := 0; i < r.threads; i++ {
 			r.ringDone = append(r.ringDone, r.k.NewWord(0))
 		}
+	case SyncNone:
+		// Embarrassingly parallel phases synchronize only at join.
 	}
 }
 

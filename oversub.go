@@ -229,6 +229,8 @@ func NewSystem(cfg SystemConfig) *System {
 	case DetectPLE:
 		s.det = bwd.New(k, bwd.Config{Mode: bwd.ModePLE})
 		s.det.Start()
+	case workload.DetectOff:
+		// Detection disabled: spinners burn their full slice.
 	}
 	return s
 }
