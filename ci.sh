@@ -132,6 +132,31 @@ if ! cmp -s "$detdir/trace1.txt" "$detdir/trace2.txt"; then
 fi
 echo "trace oracle clean; summary byte-identical across identical seeds."
 
+echo "== policy smoke: policy x feature matrix, oracle + determinism =="
+# Every scheduling policy runs the headline workload under every feature
+# cell with full tracing — oversim validates each stream against the
+# trace-invariant oracle and exits nonzero on any lifecycle violation —
+# and each policy's repetition batch must be byte-identical between a
+# serial (-jobs 1) and a parallel (-jobs 8) pool.
+for pol in cfs edf shinjuku oracle; do
+    for feat in "" "-vb" "-bwd" "-vb -bwd"; do
+        # shellcheck disable=SC2086 -- $feat is a flag list, split wanted
+        "$detdir/oversim" -bench streamcluster -threads 16 -cores 4 $feat \
+            -scale 0.05 -policy "$pol" \
+            -trace "$detdir/poltrace.txt" -trace-format summary >/dev/null
+    done
+    "$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -vb -scale 0.05 \
+        -policy "$pol" -reps 4 -jobs 1 >"$detdir/pol-$pol-serial.txt"
+    "$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -vb -scale 0.05 \
+        -policy "$pol" -reps 4 -jobs 8 >"$detdir/pol-$pol-par.txt"
+    if ! cmp -s "$detdir/pol-$pol-serial.txt" "$detdir/pol-$pol-par.txt"; then
+        echo "policy smoke FAILED: $pol parallel reps differ from serial" >&2
+        diff "$detdir/pol-$pol-serial.txt" "$detdir/pol-$pol-par.txt" >&2 || true
+        exit 1
+    fi
+done
+echo "all policies oracle-clean on every feature cell; reps byte-identical across pool widths."
+
 echo "== metrics smoke: time-series determinism =="
 # Two identical-seed runs with the time-series sampler attached must
 # export byte-identical summaries: sampling is driven purely by sim time

@@ -72,6 +72,11 @@ func benchMatrix(quick bool) []benchWorkCase {
 		{"lu-bwd-spin", runs, suite("lu", oversub.BenchConfig{
 			Threads: 16, Cores: 4, Detect: oversub.DetectBWD,
 		})},
+		// Non-default policy dispatch: shinjuku's 5 µs quantum maximizes
+		// slice-timer and preemption traffic, the policy layer's hot path.
+		{"streamcluster-shinjuku", runs, suite("streamcluster", oversub.BenchConfig{
+			Threads: 16, Cores: 4, Policy: "shinjuku",
+		})},
 		{"elastic-resize", runs, suite("streamcluster", oversub.BenchConfig{
 			Threads: 32, Cores: 4, Feat: oversub.Features{VB: true},
 			Plan: []oversub.CPUChange{{At: 2 * oversub.Millisecond, Cores: 8}},

@@ -31,7 +31,10 @@ type env struct {
 // topology/config (machine count, machine features, tenant mix, policy,
 // arrival process), and the memcached server moved onto the shared
 // workload.Service path.
-const cacheSchema = schema.HPDC21CacheV3
+// v4: run configurations grew a scheduling-policy field (BenchConfig,
+// MemcachedConfig, FleetConfig.MachinePolicies); entries keyed without it
+// cannot be distinguished from cfs runs.
+const cacheSchema = schema.HPDC21CacheV4
 
 // fingerprint keys one run from everything that determines its outcome:
 // the schema version, the run kind, the kernel cost table (a recalibration
@@ -107,6 +110,9 @@ func (b benchFuture) wait() oversub.BenchResult {
 // bench schedules one suite-benchmark run, cached on the full (spec,
 // config) fingerprint.
 func (e *env) bench(spec *oversub.BenchSpec, cfg oversub.BenchConfig) benchFuture {
+	if cfg.Policy == "" {
+		cfg.Policy = e.o.policy
+	}
 	key := fingerprint("bench", spec, cfg)
 	label := fmt.Sprintf("%s/%dT/%dc", spec.Name, cfg.Threads, cfg.Cores)
 	return benchFuture{submit(e, label, key, func() benchEntry {
@@ -132,6 +138,9 @@ func execMS(f benchFuture) string {
 
 // memcached schedules one memcached service run.
 func (e *env) memcached(cfg oversub.MemcachedConfig) future[oversub.MemcachedResult] {
+	if cfg.Policy == "" {
+		cfg.Policy = e.o.policy
+	}
 	key := fingerprint("memcached", cfg)
 	label := fmt.Sprintf("memcached/%dw/%dc", cfg.Workers, cfg.Cores)
 	return submit(e, label, key, func() oversub.MemcachedResult {

@@ -46,6 +46,7 @@ import (
 	"strings"
 	"time"
 
+	"oversub"
 	"oversub/internal/runner"
 )
 
@@ -58,6 +59,7 @@ type options struct {
 	tracePath  string
 	metricsTo  string
 	metricsFmt string
+	policy     string
 }
 
 type experiment struct {
@@ -82,6 +84,7 @@ var experiments = []experiment{
 	{"tab3", "Table 3: BWD false-positive rate", tab3},
 	{"fig15", "Figure 15: comparison with SHFLLOCK and spin-then-park locks", fig15},
 	{"fleet", "Fleet capacity: machines needed to meet a p99 SLO, by kernel variant", fleet},
+	{"policies", "Policy zoo: wake-to-dispatch latency across scheduling policies", policies},
 }
 
 func main() {
@@ -103,6 +106,7 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "record a traced, oracle-checked representative run and write its summary to this file")
 	flag.StringVar(&o.metricsTo, "metrics", "", "record a deterministic metrics time-series of a representative run and write it to this file")
 	flag.StringVar(&o.metricsFmt, "metrics-format", "summary", "metrics output format: csv, json, or summary")
+	flag.StringVar(&o.policy, "policy", "", "scheduling policy for every run: cfs, edf, shinjuku, or oracle (default cfs)")
 	flag.IntVar(&jobs, "jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.BoolVar(&nocache, "nocache", false, "ignore and do not write the result cache")
 	flag.StringVar(&cacheDir, "cache", filepath.Join("results", "cache"), "result cache directory")
@@ -122,6 +126,10 @@ func main() {
 	case "csv", "json", "summary":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (want csv, json, or summary)\n", o.metricsFmt)
+		os.Exit(2)
+	}
+	if !oversub.ValidPolicy(o.policy) {
+		fmt.Fprintf(os.Stderr, "unknown -policy %q (want one of %v)\n", o.policy, oversub.PolicyNames())
 		os.Exit(2)
 	}
 	doBench := false

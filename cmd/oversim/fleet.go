@@ -24,6 +24,10 @@ type fleetFlags struct {
 	arrival  string
 	sloUs    int
 	outJSON  string
+	// sched is the machine scheduling policy (-policy); schedList is the
+	// heterogeneous per-machine round-robin list (-fleet-sched).
+	sched     string
+	schedList string
 }
 
 // splitList parses a comma-separated flag value.
@@ -94,19 +98,28 @@ func runFleet(pool *runner.Pool, ff fleetFlags, seed uint64, traceTo, traceFm, m
 		policies = []string{"rr"}
 	}
 
+	schedList := splitList(ff.schedList)
+	for _, p := range schedList {
+		if !oversub.ValidPolicy(p) {
+			return fmt.Errorf("-fleet-sched: unknown scheduling policy %q (want one of %v)", p, oversub.PolicyNames())
+		}
+	}
+
 	cfg := sweep.FleetSweep{
 		Base: cluster.FleetConfig{
-			QPS:      ff.qps,
-			Arrival:  ff.arrival,
-			Duration: oversub.Duration(ff.duration) * oversub.Millisecond,
-			Warmup:   oversub.Duration(ff.warmup) * oversub.Millisecond,
-			Seed:     seed,
+			QPS:             ff.qps,
+			Arrival:         ff.arrival,
+			Duration:        oversub.Duration(ff.duration) * oversub.Millisecond,
+			Warmup:          oversub.Duration(ff.warmup) * oversub.Millisecond,
+			Seed:            seed,
+			MachinePolicies: schedList,
 		},
 		Machines: machines,
 		Policies: policies,
 		Variants: variants,
 		SLO:      oversub.Duration(ff.sloUs) * oversub.Microsecond,
 	}
+	cfg.Base.Machine.SchedPolicy = ff.sched
 
 	cells := len(machines) * len(policies) * len(variants)
 	var ring *oversub.TraceRing

@@ -36,6 +36,7 @@ func main() {
 		ple       = flag.Bool("ple", false, "enable pause-loop exiting (needs -vm)")
 		vm        = flag.Bool("vm", false, "run inside a virtual machine")
 		pinned    = flag.Bool("pinned", false, "pin threads to cores")
+		policy    = flag.String("policy", "", "scheduling policy: cfs, edf, shinjuku, or oracle (default cfs)")
 		lockImp   = flag.String("locks", "", "lock library: pthread|mutexee|mcstp|shfllock")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		scale     = flag.Float64("scale", 1.0, "work scale")
@@ -58,6 +59,7 @@ func main() {
 		fleetArr  = flag.String("fleet-arrival", "poisson", "fleet: arrival process (poisson, mmpp, diurnal)")
 		fleetSLO  = flag.Int("fleet-slo", 400, "fleet: p99 SLO in microseconds")
 		fleetOut  = flag.String("fleet-out", "", "fleet: also write the oversub-fleet/v1 JSON report to this file")
+		fleetSch  = flag.String("fleet-sched", "", "fleet: per-machine scheduling policies assigned round robin (e.g. \"cfs,shinjuku\"); overrides -policy")
 	)
 	flag.Parse()
 
@@ -97,6 +99,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -metrics-format %q (want csv, json, or summary)\n", *metFm)
 		os.Exit(2)
 	}
+	if !oversub.ValidPolicy(*policy) {
+		fmt.Fprintf(os.Stderr, "unknown -policy %q (want one of %v)\n", *policy, oversub.PolicyNames())
+		os.Exit(2)
+	}
 
 	stopProf, err := startProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -113,6 +119,7 @@ func main() {
 			machines: *fleetMs, qps: *fleetQPS, duration: *fleetDur,
 			warmup: *fleetWarm, policies: *fleetPol, variants: *fleetVar,
 			arrival: *fleetArr, sloUs: *fleetSLO, outJSON: *fleetOut,
+			sched: *policy, schedList: *fleetSch,
 		}
 		if err := runFleet(pool, ff, *seed, *traceTo, *traceFm, *metTo, *metFm); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -135,7 +142,7 @@ func main() {
 			workers = 4
 		}
 		mcfg := oversub.MemcachedConfig{
-			Workers: workers, Cores: *cores, VB: *vb, Seed: *seed,
+			Workers: workers, Cores: *cores, VB: *vb, Policy: *policy, Seed: *seed,
 		}
 		var ring *oversub.TraceRing
 		if *traceTo != "" {
@@ -174,11 +181,15 @@ func main() {
 		os.Exit(2)
 	}
 	if *doSweep {
+		variants := sweep.StandardVariants()
+		for i := range variants {
+			variants[i].Policy = *policy
+		}
 		g := sweep.RunOn(pool, sweep.Config{
 			Spec:     spec,
 			Threads:  []int{8, 16, 32},
 			Cores:    []int{2, 4, 8, 16, 32},
-			Variants: sweep.StandardVariants(),
+			Variants: variants,
 			Seed:     *seed,
 			Scale:    *scale,
 			Horizon:  oversub.Duration(10 * oversub.Second),
@@ -193,7 +204,7 @@ func main() {
 	cfg := oversub.BenchConfig{
 		Threads: *threads, Cores: *cores, SMT: *smt,
 		Feat: feat, Detect: detect, Seed: *seed, WorkScale: *scale,
-		LockImpl: *lockImp,
+		LockImpl: *lockImp, Policy: *policy,
 	}
 	var ring *oversub.TraceRing
 	if *traceTo != "" {
@@ -219,8 +230,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "run did not complete: %v\n", r.Err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: threads=%d cores=%d smt=%d vb=%v detect=%v pinned=%v\n",
-		spec.Name, r.Threads, r.Cores, *smt, *vb, detect, *pinned)
+	polName := *policy
+	if polName == "" {
+		polName = "cfs"
+	}
+	fmt.Printf("%s: threads=%d cores=%d smt=%d vb=%v detect=%v pinned=%v policy=%s\n",
+		spec.Name, r.Threads, r.Cores, *smt, *vb, detect, *pinned, polName)
 	fmt.Printf("  exec time       %12v\n", r.ExecTime)
 	fmt.Printf("  cpu utilization %11.0f%% (of %d00%%)\n", r.UtilPct, r.Cores**smt)
 	fmt.Printf("  sync operations %12d\n", r.SyncOps)

@@ -202,6 +202,46 @@ func TestDeriveSimScope(t *testing.T) {
 	}
 }
 
+// TestSimScopeSeesPolicyFiles is a staleness check on the analyzed file
+// set: the scheduling-policy zoo (policy*.go in internal/sched) must be
+// among the files the loader parses for the in-scope sched package. If a
+// policy implementation were split into a build-tagged or generated file
+// the loader skips, the determinism rules would silently stop checking the
+// policy hot paths while the scope test above kept passing.
+func TestSimScopeSeesPolicyFiles(t *testing.T) {
+	root := moduleRootForTest(t)
+	loader := NewLoader(root, "oversub")
+	pkgs, err := loader.LoadTree()
+	if err != nil {
+		t.Fatalf("load real tree: %v", err)
+	}
+	var sched *Package
+	for _, pkg := range pkgs {
+		if pkg.Path == "oversub/internal/sched" {
+			sched = pkg
+			break
+		}
+	}
+	if sched == nil {
+		t.Fatal("oversub/internal/sched not loaded")
+	}
+	if in := DeriveSimScope("oversub", pkgs); !in(sched.Path) {
+		t.Fatalf("%s must be in simulation scope", sched.Path)
+	}
+	loaded := map[string]bool{}
+	for _, f := range sched.Files {
+		loaded[filepath.Base(loader.Fset().Position(f.Pos()).Filename)] = true
+	}
+	for _, want := range []string{
+		"policy.go", "policy_cfs.go", "policy_edf.go",
+		"policy_shinjuku.go", "policy_oracle.go",
+	} {
+		if !loaded[want] {
+			t.Errorf("internal/sched/%s missing from the analyzed file set", want)
+		}
+	}
+}
+
 // TestScopeExcludesAreLive pins the audit contract of the exclusion list:
 // every entry carries a reason and still matches at least one loaded
 // package — a dead entry is a stale audit that must be deleted.

@@ -39,6 +39,11 @@ type MachineConfig struct {
 	Feat sched.Features
 	// Detect selects the spin detector (BWD/PLE).
 	Detect workload.Detection
+	// SchedPolicy selects the scheduling policy every machine's kernel
+	// runs ("" = cfs); FleetConfig.MachinePolicies overrides it
+	// per-machine. It is distinct from FleetConfig.Policy, which names the
+	// front-end dispatcher.
+	SchedPolicy string
 }
 
 // FleetConfig describes one fleet experiment.
@@ -58,6 +63,13 @@ type FleetConfig struct {
 	BatchThreads int
 	// Policy selects the dispatcher: "rr", "jsq", "ewma" (default rr).
 	Policy string
+	// MachinePolicies, when non-empty, assigns scheduling policies round
+	// robin across the fleet: machine m runs MachinePolicies[m %
+	// len(MachinePolicies)], overriding Machine.SchedPolicy. This models
+	// heterogeneous fleets (e.g. half cfs, half shinjuku) under one
+	// dispatcher. Entries must name registered policies; "" means cfs. It
+	// is a value field, so it participates in result-cache fingerprints.
+	MachinePolicies []string
 	// Arrival selects the arrival process: "poisson", "mmpp", "diurnal"
 	// (default poisson).
 	Arrival string
@@ -125,6 +137,9 @@ func (cfg *FleetConfig) defaults() {
 // MachineResult is one machine's view of the run.
 type MachineResult struct {
 	Machine int
+	// SchedPolicy names the scheduling policy this machine's kernel ran
+	// (heterogeneous fleets differ per machine).
+	SchedPolicy string
 	// Issued counts requests the dispatcher routed here; Done counts
 	// completions; Backlog is the difference — requests still queued or
 	// in service when the clock stopped.
@@ -280,6 +295,15 @@ func Run(cfg FleetConfig) (*FleetResult, error) {
 		return nil, err
 	}
 
+	if !sched.ValidPolicy(cfg.Machine.SchedPolicy) {
+		return nil, fmt.Errorf("cluster: unknown scheduling policy %q", cfg.Machine.SchedPolicy)
+	}
+	for _, p := range cfg.MachinePolicies {
+		if !sched.ValidPolicy(p) {
+			return nil, fmt.Errorf("cluster: unknown scheduling policy %q", p)
+		}
+	}
+
 	eng := sim.NewEngine(cfg.Seed*0x9E3779B97F4A7C15 + 0xF1EE7)
 	f := &fleet{
 		cfg:     cfg,
@@ -298,12 +322,17 @@ func Run(cfg FleetConfig) (*FleetResult, error) {
 	}
 	topo := hw.Topology{Sockets: 2, CoresPerSocket: perSocket, ThreadsPerCore: cfg.Machine.SMT}
 	for m := 0; m < cfg.Machines; m++ {
+		pol := cfg.Machine.SchedPolicy
+		if len(cfg.MachinePolicies) > 0 {
+			pol = cfg.MachinePolicies[m%len(cfg.MachinePolicies)]
+		}
 		k := sched.New(eng, sched.Config{
-			Topo:  topo,
-			NCPUs: cfg.Machine.Cores * cfg.Machine.SMT,
-			Costs: sched.DefaultCosts(),
-			Feat:  cfg.Machine.Feat,
-			Seed:  cfg.Seed + uint64(m)*1000 + 99,
+			Topo:   topo,
+			NCPUs:  cfg.Machine.Cores * cfg.Machine.SMT,
+			Costs:  sched.DefaultCosts(),
+			Feat:   cfg.Machine.Feat,
+			Seed:   cfg.Seed + uint64(m)*1000 + 99,
+			Policy: pol,
 		})
 		if cfg.TracerFor != nil {
 			if tr := cfg.TracerFor(m); tr != nil {
@@ -428,14 +457,15 @@ func (f *fleet) collect() *FleetResult {
 		}
 		util := float64(mc.k.TotalBusy()) / float64(cfg.Duration) * 100
 		mr := MachineResult{
-			Machine: m,
-			Issued:  issued,
-			Done:    done,
-			Backlog: issued - done,
-			UtilPct: util,
-			P50:     md.Percentile(50),
-			P99:     md.Percentile(99),
-			Metrics: mc.k.Metrics,
+			Machine:     m,
+			SchedPolicy: mc.k.PolicyName(),
+			Issued:      issued,
+			Done:        done,
+			Backlog:     issued - done,
+			UtilPct:     util,
+			P50:         md.Percentile(50),
+			P99:         md.Percentile(99),
+			Metrics:     mc.k.Metrics,
 		}
 		if mc.det != nil {
 			mr.BWD = mc.det.Stats

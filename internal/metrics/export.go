@@ -18,7 +18,11 @@ const SeriesSchema = schema.MetricsV1
 type jsonEnvelope struct {
 	Schema     string       `json:"schema"`
 	IntervalNS sim.Duration `json:"interval_ns"`
-	Samples    []Sample     `json:"samples"`
+	// Policy names the sampled kernel's scheduling policy. Additive within
+	// oversub-metrics/v1: readers that predate it ignore the field, and it
+	// is omitted when no snapshot ever ran.
+	Policy  string   `json:"policy,omitempty"`
+	Samples []Sample `json:"samples"`
 }
 
 // WriteJSON exports the series as a schema'd JSON document. Field order
@@ -30,6 +34,7 @@ func (s *Sampler) WriteJSON(w io.Writer) error {
 	return enc.Encode(jsonEnvelope{
 		Schema:     SeriesSchema,
 		IntervalNS: s.interval,
+		Policy:     s.policy,
 		Samples:    s.Samples(),
 	})
 }
@@ -142,8 +147,12 @@ func (s *Sampler) WriteSummary(w io.Writer) error {
 		return err
 	}
 	span := samples[len(samples)-1].At
-	if _, err := fmt.Fprintf(w, "metrics: %d samples over %v (base interval %v)\n\n",
-		len(samples), span, s.interval); err != nil {
+	pol := ""
+	if s.policy != "" {
+		pol = fmt.Sprintf(", policy %s", s.policy)
+	}
+	if _, err := fmt.Fprintf(w, "metrics: %d samples over %v (base interval %v%s)\n\n",
+		len(samples), span, s.interval, pol); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "%-16s %8s %10s %10s %10s  %s\n",

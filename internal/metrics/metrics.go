@@ -113,6 +113,10 @@ type Sampler struct {
 	interval sim.Duration
 	capacity int
 
+	// policy is the sampled kernel's scheduling-policy name, captured on
+	// the first snapshot and carried into the JSON export envelope.
+	policy string
+
 	samples []Sample
 	stride  int // base intervals per stored sample (doubles on overflow)
 	acc     Sample
@@ -149,6 +153,10 @@ func (s *Sampler) SampleInterval() sim.Duration { return s.interval }
 // Interval returns the base sampling period.
 func (s *Sampler) Interval() sim.Duration { return s.interval }
 
+// Policy returns the sampled kernel's scheduling-policy name, or "" before
+// the first snapshot.
+func (s *Sampler) Policy() string { return s.policy }
+
 // Len returns the number of retained samples (pending partial buckets
 // excluded until Samples flushes them).
 func (s *Sampler) Len() int {
@@ -175,6 +183,9 @@ func (s *Sampler) Samples() []Sample {
 // one window. The final flush of a run that ended exactly on a tick
 // repeats the timestamp; such duplicates are dropped here.
 func (s *Sampler) Sample(k *sched.Kernel, at sim.Time) {
+	if s.policy == "" {
+		s.policy = k.PolicyName()
+	}
 	if at == s.lastAt && (len(s.samples) > 0 || s.accN > 0) {
 		return // run ended exactly on a window boundary; already recorded
 	}

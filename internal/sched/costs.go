@@ -1,8 +1,9 @@
 // Package sched simulates a multicore OS kernel scheduler in virtual time:
-// per-CPU CFS runqueues ordered by virtual runtime, time slices with a
-// minimum granularity, wakeup preemption, idlest-core selection, periodic
-// and idle load balancing with NUMA-aware migration costs, and dynamic
-// cpusets (CPU elasticity).
+// per-CPU runqueues ordered by a pluggable scheduling Policy (CFS virtual
+// runtime by default; EDF, shinjuku-style µs-preemption, and a clairvoyant
+// SRPT oracle also ship), time slices with a minimum granularity, wakeup
+// preemption, idlest-core selection, periodic and idle load balancing with
+// NUMA-aware migration costs, and dynamic cpusets (CPU elasticity).
 //
 // It implements both the vanilla Linux mechanisms whose inefficiencies the
 // paper measures (sleep/wakeup through wait queues, runqueue lock

@@ -113,6 +113,8 @@ type Config struct {
 	Feat  Features
 	Mem   *mem.Model // nil for a default model with paper geometry
 	Seed  uint64
+	// Policy names the scheduling policy (see PolicyNames); "" selects cfs.
+	Policy string
 }
 
 // Kernel is the simulated OS kernel: scheduler state plus the hardware
@@ -124,6 +126,8 @@ type Kernel struct {
 	feat     Features
 	memModel *mem.Model
 	rng      *sim.Rand
+
+	policy Policy
 
 	cpus     []*cpu
 	nAllowed int
@@ -240,13 +244,14 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 		// Kernel code (context switches, IRQs) touches scattered data.
 		kernProfile: hw.ExecProfile{InstPerUS: 2000, InstPerL1Miss: 30, InstPerTLBMiss: 400, InstPerBranch: 5},
 	}
+	k.policy = newPolicy(cfg.Policy, k)
 	k.cpus = make([]*cpu, total)
 	for i := range k.cpus {
 		c := &cpu{
 			id:      i,
 			k:       k,
 			enabled: i < cfg.NCPUs,
-			tree:    rbtree.New[*Thread](threadLess),
+			tree:    rbtree.New[*Thread](k.threadLess),
 			core:    &hw.Core{ID: i},
 		}
 		c.lock = k.NewKLock(uint64(i))
@@ -263,15 +268,24 @@ func New(eng *sim.Engine, cfg Config) *Kernel {
 	return k
 }
 
-func threadLess(a, b *Thread) bool {
+// threadLess is the runqueue order: virtual blocking is a kernel mechanism,
+// so vblocked threads always sort last among themselves in FIFO (blockedKey)
+// order, while the policy orders the runnable prefix; thread ID breaks ties
+// so the order is total and deterministic.
+//
+//simlint:hotpath
+func (k *Kernel) threadLess(a, b *Thread) bool {
 	if a.vblocked != b.vblocked {
 		return !a.vblocked
 	}
 	if a.vblocked {
 		return a.blockedKey < b.blockedKey
 	}
-	if a.vruntime != b.vruntime {
-		return a.vruntime < b.vruntime
+	if k.policy.Less(a, b) {
+		return true
+	}
+	if k.policy.Less(b, a) {
+		return false
 	}
 	return a.ID < b.ID
 }
@@ -403,6 +417,7 @@ func (k *Kernel) Spawn(name string, body func(*Thread)) *Thread {
 	t.cpu = target
 	c := k.cpus[target]
 	t.vruntime = c.minV
+	k.policy.Woken(c, t)
 	k.trace(target, t, "spawn", int64(target))
 	k.enqueue(c, t)
 	k.reschedule(c)
@@ -410,13 +425,14 @@ func (k *Kernel) Spawn(name string, body func(*Thread)) *Thread {
 }
 
 func (k *Kernel) pinNext() int {
-	for {
+	for range k.cpus {
 		id := k.nextPin % len(k.cpus)
 		k.nextPin++
 		if k.cpus[id].enabled {
 			return id
 		}
 	}
+	panic("sched: no enabled CPUs")
 }
 
 // idlestCPU returns the enabled CPU with the fewest eligible (non-blocked)
@@ -454,6 +470,7 @@ func (k *Kernel) enqueue(c *cpu, t *Thread) {
 	}
 	t.cpu = c.id
 	t.state = StateRunnable
+	k.policy.Enqueue(c, t)
 	t.node = c.tree.Insert(t)
 	if t.vblocked {
 		c.nrBlocked++
@@ -477,6 +494,7 @@ func (k *Kernel) dequeue(t *Thread) {
 	if t.vblocked {
 		c.nrBlocked--
 	}
+	k.policy.Dequeue(c, t)
 }
 
 // reschedule requests a dispatch pass on c at the current time, coalescing
@@ -539,28 +557,6 @@ func preemptNowCall(arg any, cpuID, _ uint64) {
 	t.k.preemptNow(t.k.cpus[cpuID], t)
 }
 
-// pickNext returns the next eligible thread on c, honouring BWD skip flags;
-// nil if only virtually blocked (or no) threads remain.
-//
-//simlint:hotpath
-func (k *Kernel) pickNext(c *cpu) *Thread {
-	var fallback *Thread
-	for n := c.tree.Min(); n != nil; n = c.tree.Next(n) {
-		t := n.Value
-		if t.vblocked {
-			break // blocked threads sort last; nothing eligible beyond
-		}
-		if t.skipUntil > c.dispatchSeq {
-			if fallback == nil {
-				fallback = t
-			}
-			continue
-		}
-		return t
-	}
-	return fallback
-}
-
 // schedule dispatches the next thread on c if it is not running one.
 //
 //simlint:hotpath
@@ -568,12 +564,12 @@ func (k *Kernel) schedule(c *cpu) {
 	if !c.enabled || c.curr != nil {
 		return
 	}
-	next := k.pickNext(c)
+	next := k.policy.PickNext(c)
 	if next == nil {
 		// Effectively idle (empty, or only virtually blocked threads):
 		// try to pull real load from the busiest CPU first.
 		if k.idlePull(c) {
-			next = k.pickNext(c)
+			next = k.policy.PickNext(c)
 		}
 		if next == nil {
 			if c.tree.Len() > 0 {
@@ -615,19 +611,12 @@ func (k *Kernel) schedule(c *cpu) {
 	k.execute(c)
 }
 
-// armSlice rearms the slice-expiry timer for the current thread.
+// armSlice rearms the slice-expiry timer for the current thread with the
+// policy's slice.
 //
 //simlint:hotpath
 func (k *Kernel) armSlice(c *cpu) {
-	n := c.eligible()
-	if n < 1 {
-		n = 1
-	}
-	slice := k.costs.SchedLatency / sim.Duration(n)
-	if slice < k.costs.MinGranularity {
-		slice = k.costs.MinGranularity
-	}
-	c.slice.Rearm(slice)
+	c.slice.Rearm(k.policy.Tick(c, c.curr))
 }
 
 // speed returns the CPU-time-per-wall-time factor of c, reduced when its
@@ -1060,23 +1049,11 @@ func (k *Kernel) timerWake(t *Thread) {
 	}
 	target := t.cpu
 	if !k.cpus[target].enabled || (t.pinned >= 0 && target != t.pinned) {
-		target = k.selectCPU(t)
+		target = k.policy.WakeTarget(t)
 	}
 	c := k.cpus[target]
 	k.placeWoken(c, t)
 	k.checkPreempt(c, t, nil)
-}
-
-// selectCPU chooses the wakeup CPU for t: the pinned CPU, t's previous CPU
-// if idle, or the idlest allowed CPU preferring t's node.
-func (k *Kernel) selectCPU(t *Thread) int {
-	if t.pinned >= 0 && k.cpus[t.pinned].enabled {
-		return t.pinned
-	}
-	if prev := k.cpus[t.cpu]; prev.enabled && prev.curr == nil && prev.tree.Len() == 0 {
-		return t.cpu
-	}
-	return k.idlestCPU(t.cpu)
 }
 
 // placeWoken enqueues a woken thread on c with the sleeper bonus and
@@ -1094,6 +1071,7 @@ func (k *Kernel) placeWoken(c *cpu, t *Thread) {
 	if t.cpu != c.id {
 		k.accountMigration(t, t.cpu, c.id)
 	}
+	k.policy.Woken(c, t)
 	floor := c.minV - k.costs.SleeperBonus
 	if t.vruntime < floor {
 		t.vruntime = floor
@@ -1135,10 +1113,7 @@ func (k *Kernel) checkPreemptGran(c *cpu, t *Thread, waker *Thread, gran sim.Dur
 	if curr == t || t.node == nil {
 		return
 	}
-	// Account curr's time since dispatch, as the scheduler tick would; the
-	// stored vruntime is only updated when segments close.
-	currVr := curr.vruntime + sim.Duration(k.eng.Now().Sub(c.currStart))
-	if currVr-t.vruntime <= gran {
+	if !k.policy.WakePreempts(c, curr, t, gran) {
 		return
 	}
 	if waker != nil {
@@ -1147,10 +1122,10 @@ func (k *Kernel) checkPreemptGran(c *cpu, t *Thread, waker *Thread, gran sim.Dur
 			return // the target rescheduled while we paid the IPI cost
 		}
 	}
-	// CFS wakeup preemption is immediate once the wakeup-granularity
-	// vruntime test passes; the minimum granularity gates only tick-driven
-	// preemption. (A thread that keeps being preempted retains its low
-	// vruntime and is promptly rescheduled, so starvation is bounded.)
+	// Wakeup preemption is immediate once the policy's test passes; the
+	// minimum granularity gates only tick-driven preemption. (Under CFS a
+	// thread that keeps being preempted retains its low vruntime and is
+	// promptly rescheduled, so starvation is bounded.)
 	k.eng.AtCall(k.eng.Now(), preemptNowCall, curr, uint64(c.id), 0)
 }
 
@@ -1187,7 +1162,7 @@ func (k *Kernel) WakeVanilla(waker *Thread, t *Thread) {
 	if t.state != StateSleeping {
 		return // woken concurrently while we paid the selection cost
 	}
-	target := k.selectCPU(t)
+	target := k.policy.WakeTarget(t)
 	c := k.cpus[target]
 	c.lock.Lock(waker)
 	waker.RunKernel(k.costs.RQLockHold + k.costs.Enqueue)
@@ -1209,7 +1184,7 @@ func (k *Kernel) WakeIRQ(t *Thread) {
 	if t.state != StateSleeping {
 		return
 	}
-	target := k.selectCPU(t)
+	target := k.policy.WakeTarget(t)
 	c := k.cpus[target]
 	c.overhead += k.costs.SelectCoreBase + k.costs.RQLockHold + k.costs.Enqueue
 	k.placeWoken(c, t)
@@ -1235,6 +1210,7 @@ func (k *Kernel) VWake(waker *Thread, t *Thread) {
 	k.trace(c.id, t, "vwake", 0)
 	k.dequeue(t)
 	t.vblocked = false
+	k.policy.Woken(c, t)
 	floor := c.minV - k.costs.SleeperBonus
 	if t.vruntime < floor {
 		t.vruntime = floor

@@ -1,0 +1,285 @@
+package sched
+
+import (
+	"testing"
+
+	"oversub/internal/hw"
+	"oversub/internal/sim"
+)
+
+// policyKernel builds a test kernel under a named policy.
+func policyKernel(t *testing.T, ncpu int, feat Features, policy string) (*sim.Engine, *Kernel) {
+	t.Helper()
+	eng := sim.NewEngine(12345)
+	k := New(eng, Config{
+		Topo:   hw.Topology{Sockets: 1, CoresPerSocket: ncpu, ThreadsPerCore: 1},
+		NCPUs:  ncpu,
+		Costs:  DefaultCosts(),
+		Feat:   feat,
+		Seed:   777,
+		Policy: policy,
+	})
+	return eng, k
+}
+
+func TestPolicyNamesRegistry(t *testing.T) {
+	names := PolicyNames()
+	if len(names) != 4 || names[0] != "cfs" {
+		t.Fatalf("PolicyNames() = %v, want cfs first of four", names)
+	}
+	for _, n := range names {
+		if !ValidPolicy(n) {
+			t.Errorf("ValidPolicy(%q) = false", n)
+		}
+		_, k := policyKernel(t, 2, Features{}, n)
+		if k.PolicyName() != n {
+			t.Errorf("PolicyName() = %q, want %q", k.PolicyName(), n)
+		}
+	}
+	if !ValidPolicy("") {
+		t.Error("ValidPolicy(\"\") = false, want true (default cfs)")
+	}
+	if ValidPolicy("fifo9000") {
+		t.Error("ValidPolicy(\"fifo9000\") = true")
+	}
+	_, k := policyKernel(t, 2, Features{}, "")
+	if k.PolicyName() != "cfs" {
+		t.Errorf("default PolicyName() = %q, want cfs", k.PolicyName())
+	}
+}
+
+func TestUnknownPolicyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with unknown policy did not panic")
+		}
+	}()
+	policyKernel(t, 2, Features{}, "fifo9000")
+}
+
+// TestPinNextPanicsWithoutEnabledCPUs is the regression test for the
+// pinNext infinite loop: with every CPU disabled the round-robin scan used
+// to spin forever; it must panic like idlestCPU does.
+func TestPinNextPanicsWithoutEnabledCPUs(t *testing.T) {
+	_, k := testKernel(t, 2, Features{Pinned: true})
+	for _, c := range k.cpus {
+		c.enabled = false
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pinNext with no enabled CPUs did not panic")
+		}
+	}()
+	k.pinNext()
+}
+
+func TestSetAllowedCPUsRejectsEmptySet(t *testing.T) {
+	_, k := testKernel(t, 4, Features{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetAllowedCPUs(0) did not panic")
+		}
+	}()
+	k.SetAllowedCPUs(0)
+}
+
+func TestSetAllowedCPUsClampsAboveTotal(t *testing.T) {
+	_, k := testKernel(t, 4, Features{})
+	k.SetAllowedCPUs(2)
+	k.SetAllowedCPUs(99)
+	if k.AllowedCPUs() != 4 {
+		t.Fatalf("AllowedCPUs = %d after clamp, want 4", k.AllowedCPUs())
+	}
+}
+
+// enqueueRaw plants a parked synthetic thread directly on c's runqueue.
+func enqueueRaw(k *Kernel, c *cpu, t *Thread) {
+	t.cpu = c.id
+	k.enqueue(c, t)
+}
+
+// TestStealCandidateBackwardMatchesForward pins the steal choice across the
+// Min-forward -> Max-backward rewrite: on assorted queues (pinned threads,
+// virtually blocked tails, vruntime ties) the backward walk must pick
+// exactly the thread the original forward walk kept — the largest-vruntime
+// unpinned runnable thread.
+func TestStealCandidateBackwardMatchesForward(t *testing.T) {
+	// forwardSteal is the original implementation, kept as the reference.
+	forwardSteal := func(c *cpu) *Thread {
+		var cand *Thread
+		for n := c.tree.Min(); n != nil; n = c.tree.Next(n) {
+			v := n.Value
+			if v.vblocked {
+				break
+			}
+			if v.pinned < 0 {
+				cand = v
+			}
+		}
+		return cand
+	}
+
+	rng := sim.NewRand(42)
+	for trial := 0; trial < 200; trial++ {
+		_, k := testKernel(t, 2, Features{})
+		c := k.cpus[1] // keep CPU 0 free so nothing dispatches off this queue
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			th := &Thread{ID: 1000*trial + i, k: k, pinned: -1, state: StateNew}
+			th.vruntime = sim.Duration(rng.Intn(5)) * sim.Millisecond // force ties
+			if rng.Intn(4) == 0 {
+				th.pinned = 1
+			}
+			if rng.Intn(4) == 0 {
+				th.vblocked = true
+				c.blockedSeq++
+				th.blockedKey = c.blockedSeq
+			}
+			enqueueRaw(k, c, th)
+		}
+		want := forwardSteal(c)
+		got := stealRightmost(c)
+		if got != want {
+			t.Fatalf("trial %d: stealRightmost = %v, forward reference = %v", trial, got, want)
+		}
+	}
+}
+
+// TestMoveThreadNeverJumpsDestinationMin is the property test for the
+// moveThread vruntime rebasing audit: a migrated thread must never land
+// ahead of the destination queue's min vruntime reference, or it would
+// unfairly preempt every thread already there.
+func TestMoveThreadNeverJumpsDestinationMin(t *testing.T) {
+	rng := sim.NewRand(99)
+	for trial := 0; trial < 300; trial++ {
+		_, k := testKernel(t, 2, Features{})
+		from, to := k.cpus[0], k.cpus[1]
+		from.minV = sim.Duration(rng.Intn(20)) * sim.Millisecond
+		to.minV = sim.Duration(rng.Intn(20)) * sim.Millisecond
+		th := &Thread{ID: trial, k: k, pinned: -1, state: StateNew}
+		// Sleeper-bonus clamping can leave vruntime below the queue min.
+		th.vruntime = from.minV + sim.Duration(rng.Intn(10)-4)*sim.Millisecond
+		enqueueRaw(k, from, th)
+		k.moveThread(th, from, to)
+		if th.vruntime < to.minV {
+			t.Fatalf("trial %d: migrated vruntime %v < destination minV %v",
+				trial, th.vruntime, to.minV)
+		}
+		if th.cpu != to.id {
+			t.Fatalf("trial %d: thread on cpu %d, want %d", trial, th.cpu, to.id)
+		}
+	}
+}
+
+// TestPolicyDeterminism runs an oversubscribed futex-and-compute workload
+// twice per policy on fresh kernels: identical seeds must produce identical
+// schedules (CPU time, context switches, final clock).
+func TestPolicyDeterminism(t *testing.T) {
+	type digest struct {
+		end     sim.Time
+		cpuTime sim.Duration
+		volCS   uint64
+		involCS uint64
+		wakes   uint64
+	}
+	runOnce := func(policy string) digest {
+		_, k := policyKernel(t, 2, Features{VB: true}, policy)
+		done := make([]*Word, 4)
+		for i := range done {
+			done[i] = k.NewWord(0)
+		}
+		for i := 0; i < 8; i++ {
+			i := i
+			k.Spawn("w", func(th *Thread) {
+				for r := 0; r < 5; r++ {
+					th.Run(sim.Duration(200+i*37) * sim.Microsecond)
+					if i%2 == 0 {
+						th.Sleep(100 * sim.Microsecond)
+					} else {
+						th.Yield()
+					}
+				}
+				done[i%4].Store(1)
+			})
+		}
+		mustComplete(t, k, 0)
+		var d digest
+		d.end = k.Now()
+		for _, th := range k.Threads() {
+			d.cpuTime += th.CPUTime
+			d.volCS += th.VolCS
+			d.involCS += th.InvolCS
+		}
+		d.wakes = k.Metrics.Wakeups
+		return d
+	}
+	for _, pol := range PolicyNames() {
+		a, b := runOnce(pol), runOnce(pol)
+		if a != b {
+			t.Errorf("%s: two identical-seed runs diverged: %+v vs %+v", pol, a, b)
+		}
+	}
+}
+
+// TestEDFDeadlineOrdersQueue checks the EDF primary key end to end: with
+// two sleepers waking at the same instant on a busy CPU, the one with the
+// shorter relative deadline must be dispatched first.
+func TestEDFDeadlineOrdersQueue(t *testing.T) {
+	_, k := policyKernel(t, 1, Features{}, "edf")
+	var order []string
+	spawnSleeper := func(name string, rel sim.Duration) {
+		th := k.Spawn(name, func(th *Thread) {
+			th.Sleep(1 * sim.Millisecond)
+			order = append(order, name)
+			th.Run(100 * sim.Microsecond)
+		})
+		th.SetRelDeadline(rel)
+	}
+	spawnSleeper("lax", 10*sim.Millisecond)
+	spawnSleeper("tight", 1*sim.Millisecond)
+	// A CPU hog keeps the core busy so both wakers queue behind it.
+	k.Spawn("hog", func(th *Thread) { th.Run(4 * sim.Millisecond) })
+	mustComplete(t, k, 0)
+	if len(order) != 2 || order[0] != "tight" {
+		t.Fatalf("dispatch order = %v, want tight before lax", order)
+	}
+}
+
+// TestShinjukuQuantumPreempts checks the µs-preemption behavior: two
+// CPU-bound threads sharing one core must round-robin at the microsecond
+// quantum, racking up orders of magnitude more involuntary switches than
+// CFS's millisecond slices produce.
+func TestShinjukuQuantumPreempts(t *testing.T) {
+	_, k := policyKernel(t, 1, Features{}, "shinjuku")
+	var ths []*Thread
+	for i := 0; i < 2; i++ {
+		ths = append(ths, k.Spawn("w", func(th *Thread) { th.Run(2 * sim.Millisecond) }))
+	}
+	mustComplete(t, k, 0)
+	// 2ms of work at a 5µs quantum is ~400 slices; CFS would grant ~1.5ms
+	// slices (at most a handful of preemptions).
+	if ths[0].InvolCS < 50 {
+		t.Errorf("InvolCS = %d, want hundreds under the µs quantum", ths[0].InvolCS)
+	}
+}
+
+// TestOraclePrefersShortJob checks SRPT ordering: when a short and a long
+// job queue behind a hog, the short one runs first regardless of arrival.
+func TestOraclePrefersShortJob(t *testing.T) {
+	_, k := policyKernel(t, 1, Features{}, "oracle")
+	var order []string
+	k.Spawn("hog", func(th *Thread) { th.Run(2 * sim.Millisecond) })
+	spawn := func(name string, work sim.Duration) {
+		k.Spawn(name, func(th *Thread) {
+			th.Sleep(100 * sim.Microsecond)
+			th.Run(work)
+			order = append(order, name)
+		})
+	}
+	spawn("long", 5*sim.Millisecond)
+	spawn("short", 200*sim.Microsecond)
+	mustComplete(t, k, 0)
+	if len(order) != 2 || order[0] != "short" {
+		t.Fatalf("completion order = %v, want short first", order)
+	}
+}

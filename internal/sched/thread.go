@@ -102,6 +102,13 @@ type Thread struct {
 	weight   int64  // CFS load weight derived from nice
 	node     rqNode // runqueue linkage (nil when not queued)
 
+	// Policy ordering keys beyond vruntime. deadline is the EDF absolute
+	// deadline, refreshed from relDeadline at each wakeup; arrivalSeq is the
+	// shinjuku FIFO stamp assigned at each enqueue. Unused keys stay zero.
+	deadline    sim.Time
+	relDeadline sim.Duration
+	arrivalSeq  uint64
+
 	req  request
 	warm sim.Duration // pending cache/TLB warmup to charge at next segment
 
@@ -156,6 +163,21 @@ func (t *Thread) SetNice(n int) {
 
 // Nice returns the thread's nice level.
 func (t *Thread) Nice() int { return t.nice }
+
+// SetRelDeadline sets the thread's relative deadline: under the EDF policy
+// each wakeup starts a period whose absolute deadline is the wake time plus
+// d. Workloads derive d from their per-thread work interval
+// (workload.Spec.Interval). Non-positive d restores the default
+// (Costs.SchedLatency). Other policies ignore it.
+func (t *Thread) SetRelDeadline(d sim.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	t.relDeadline = d
+}
+
+// RelDeadline returns the thread's relative deadline (0 = policy default).
+func (t *Thread) RelDeadline() sim.Duration { return t.relDeadline }
 
 // loadWeight returns the CFS weight (1024 at nice 0).
 func (t *Thread) loadWeight() int64 {

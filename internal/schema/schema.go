@@ -18,8 +18,8 @@ const (
 	MetricsV1 = "oversub-metrics/v1"
 	// FleetV1 tags internal/cluster fleet-simulation reports.
 	FleetV1 = "oversub-fleet/v1"
-	// HPDC21CacheV3 tags the cmd/hpdc21 experiment result cache.
-	HPDC21CacheV3 = "hpdc21/v3"
+	// HPDC21CacheV4 tags the cmd/hpdc21 experiment result cache.
+	HPDC21CacheV4 = "hpdc21/v4"
 	// DiagV1 tags simlint JSON diagnostic artifacts and baselines.
 	DiagV1 = "simlint-diag/v1"
 	// SimlintV2 is the simlint analyzer-suite version, salting the

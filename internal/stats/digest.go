@@ -127,6 +127,15 @@ func (g *Digest) Percentile(p float64) sim.Duration {
 	if g.n == 0 {
 		return 0
 	}
+	// Clamp p before the rank conversion: a negative product would wrap to
+	// a huge uint64 (selecting rank n instead of rank 1), and an absurd p
+	// could overflow the conversion entirely.
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
 	rank := uint64(math.Ceil(p / 100 * float64(g.n)))
 	if rank < 1 {
 		rank = 1

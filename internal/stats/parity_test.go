@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+
+	"oversub/internal/sim"
+)
+
+// TestPercentileClampingParity cross-checks Digest.Percentile against
+// Latency.Percentile on shared random inputs. Fleet SLO reports read the
+// digest while single-run reports read the exact sampler, so the two must
+// agree on clamping semantics — p <= 0 selects rank 1, p > 100 selects
+// rank n, a single sample is returned exactly — and the digest's interior
+// percentiles must stay within its documented 12.5% relative bucket width
+// of the exact order statistic.
+func TestPercentileClampingParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var l Latency
+		var g Digest
+		n := 1 + rng.Intn(400)
+		for i := 0; i < n; i++ {
+			// Span several octaves so log bucketing is actually exercised.
+			d := sim.Duration(rng.Int63n(1 << (4 + uint(rng.Intn(28)))))
+			l.Add(d)
+			g.Add(d)
+		}
+
+		// p <= 0 must behave exactly like the smallest positive rank.
+		for _, p := range []float64{0, -1, -1e9} {
+			if got, want := l.Percentile(p), l.Percentile(1e-9); got != want {
+				t.Fatalf("trial %d: Latency.Percentile(%v) = %v, want rank-1 value %v", trial, p, got, want)
+			}
+			if got, want := g.Percentile(p), g.Percentile(1e-9); got != want {
+				t.Fatalf("trial %d: Digest.Percentile(%v) = %v, want rank-1 value %v", trial, p, got, want)
+			}
+		}
+		// p > 100 must behave exactly like p = 100 (rank n).
+		for _, p := range []float64{100.0001, 200, 1e9} {
+			if got, want := l.Percentile(p), l.Percentile(100); got != want {
+				t.Fatalf("trial %d: Latency.Percentile(%v) = %v, want p100 %v", trial, p, got, want)
+			}
+			if got, want := g.Percentile(p), g.Percentile(100); got != want {
+				t.Fatalf("trial %d: Digest.Percentile(%v) = %v, want p100 %v", trial, p, got, want)
+			}
+		}
+		// The rank-1 and rank-n selections agree with the exact extremes in
+		// both implementations (a bucket holding the min/max alone reports
+		// it exactly; otherwise within bucket width — assert the bound).
+		checkClose := func(label string, got, exact sim.Duration) {
+			t.Helper()
+			diff := got - exact
+			if diff < 0 {
+				diff = -diff
+			}
+			if exact > 0 && float64(diff)/float64(exact) > 0.125 {
+				t.Fatalf("trial %d: %s digest %v vs exact %v exceeds 12.5%%", trial, label, got, exact)
+			}
+		}
+		checkClose("p0", g.Percentile(0), l.Percentile(0))
+		checkClose("p100", g.Percentile(200), l.Percentile(200))
+		for _, p := range []float64{10, 50, 90, 99, 99.9} {
+			checkClose("interior", g.Percentile(p), l.Percentile(p))
+		}
+	}
+
+	// A single sample comes back exactly at every p in both implementations.
+	for _, d := range []sim.Duration{0, 1, 7, 123456789} {
+		var l Latency
+		var g Digest
+		l.Add(d)
+		g.Add(d)
+		for _, p := range []float64{-5, 0, 1e-9, 50, 100, 500} {
+			if got := l.Percentile(p); got != d {
+				t.Fatalf("single sample: Latency.Percentile(%v) = %v, want %v", p, got, d)
+			}
+			if got := g.Percentile(p); got != d {
+				t.Fatalf("single sample: Digest.Percentile(%v) = %v, want %v", p, got, d)
+			}
+		}
+	}
+}

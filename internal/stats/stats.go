@@ -59,6 +59,14 @@ func (l *Latency) Percentile(p float64) sim.Duration {
 		return 0
 	}
 	l.ensureSorted()
+	// Clamp p before the conversion so an absurd value cannot overflow the
+	// float-to-int cast (which would select rank 1 instead of rank n).
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
 	rank := int(math.Ceil(p / 100 * float64(n)))
 	if rank < 1 {
 		rank = 1

@@ -31,7 +31,8 @@ func FleetVariants() []Variant {
 type FleetSweep struct {
 	// Base carries the per-run configuration (QPS, tenants, arrival,
 	// duration, seed). Machines, Policy, and Machine.Feat/Detect are
-	// overwritten per cell.
+	// overwritten per cell; a Variant with a non-empty Policy also
+	// overrides Machine.SchedPolicy.
 	Base cluster.FleetConfig
 	// Machines are the fleet sizes swept, ascending.
 	Machines []int
@@ -78,6 +79,9 @@ func RunFleetOn(p *runner.Pool, cfg FleetSweep) (*cluster.Report, error) {
 		c.Policy = pt.policy
 		c.Machine.Feat = pt.v.Feat
 		c.Machine.Detect = pt.v.Detect
+		if pt.v.Policy != "" {
+			c.Machine.SchedPolicy = pt.v.Policy
+		}
 		return cluster.Run(c)
 	}
 	results := make([]*cluster.FleetResult, len(pts))

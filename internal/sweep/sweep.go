@@ -29,6 +29,9 @@ type Variant struct {
 	Label  string
 	Feat   sched.Features
 	Detect workload.Detection
+	// Policy selects the scheduling policy ("" = cfs), so a sweep can
+	// compare policies as variants the same way it compares features.
+	Policy string
 }
 
 // StandardVariants returns the paper's four standard comparisons.
@@ -94,7 +97,7 @@ func RunOn(p *runner.Pool, cfg Config) *Grid {
 	run := func(pt point) workload.Result {
 		return workload.Run(cfg.Spec, workload.RunConfig{
 			Threads: pt.th, Cores: pt.co,
-			Feat: pt.v.Feat, Detect: pt.v.Detect,
+			Feat: pt.v.Feat, Detect: pt.v.Detect, Policy: pt.v.Policy,
 			Seed: cfg.Seed, WorkScale: cfg.Scale,
 			Horizon: cfg.Horizon,
 		})

@@ -19,7 +19,10 @@ type MemcachedConfig struct {
 	ValSize  int     // bytes (paper: 2048)
 	// LockShards is the hash-table lock granularity (default 4).
 	LockShards int
-	Seed       uint64
+	// Policy selects the scheduling policy ("" = cfs). It participates in
+	// result-cache fingerprints.
+	Policy string
+	Seed   uint64
 	// Tracer, when non-nil, receives every scheduling event of the run.
 	// It is excluded from result-cache fingerprints (json:"-").
 	Tracer sched.Tracer `json:"-"`
@@ -120,7 +123,7 @@ func Memcached(cfg MemcachedConfig) MemcachedResult {
 		cfg.ValSize = 2048
 	}
 
-	k := newKernel(cfg.Cores, 1, sched.Features{VB: cfg.VB}, cfg.Seed)
+	k := newKernel(cfg.Cores, 1, sched.Features{VB: cfg.VB}, cfg.Seed, cfg.Policy)
 	if cfg.Tracer != nil {
 		k.SetTracer(cfg.Tracer)
 	}

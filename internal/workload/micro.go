@@ -10,8 +10,10 @@ import (
 	"oversub/internal/sim"
 )
 
-// newKernel builds a one-off kernel for a micro-benchmark.
-func newKernel(cores, smt int, feat sched.Features, seed uint64) *sched.Kernel {
+// newKernel builds a one-off kernel for a micro-benchmark. policy selects
+// the scheduling policy ("" = cfs); the Figure 2/5 micro-benchmarks pass ""
+// so their golden outputs pin the default scheduler.
+func newKernel(cores, smt int, feat sched.Features, seed uint64, policy string) *sched.Kernel {
 	if smt <= 0 {
 		smt = 1
 	}
@@ -21,11 +23,12 @@ func newKernel(cores, smt int, feat sched.Features, seed uint64) *sched.Kernel {
 	}
 	eng := sim.NewEngine(seed*7919 + 3)
 	return sched.New(eng, sched.Config{
-		Topo:  hw.Topology{Sockets: 2, CoresPerSocket: perSocket, ThreadsPerCore: smt},
-		NCPUs: cores * smt,
-		Costs: sched.DefaultCosts(),
-		Feat:  feat,
-		Seed:  seed,
+		Topo:   hw.Topology{Sockets: 2, CoresPerSocket: perSocket, ThreadsPerCore: smt},
+		NCPUs:  cores * smt,
+		Costs:  sched.DefaultCosts(),
+		Feat:   feat,
+		Seed:   seed,
+		Policy: policy,
 	})
 }
 
@@ -44,7 +47,7 @@ type DirectCostResult struct {
 // adds no oversubscription overhead, since at most one thread runs at a
 // time.
 func DirectCost(n int, atomicShared bool, seed uint64) DirectCostResult {
-	k := newKernel(1, 1, sched.Features{}, seed)
+	k := newKernel(1, 1, sched.Features{}, seed, "")
 	const total = 120 * sim.Millisecond
 	iter := k.Costs().MinGranularity
 	shared := k.NewWord(0)
@@ -96,7 +99,7 @@ func IndirectCost(p mem.Pattern, total int64, seed uint64) IndirectCostResult {
 	model := mem.NewModel(hw.PaperCaches())
 
 	serial := func() sim.Duration {
-		k := newKernel(1, 1, sched.Features{}, seed)
+		k := newKernel(1, 1, sched.Features{}, seed, "")
 		fp := mem.Footprint{Pattern: p, Bytes: total}
 		k.Spawn("serial", func(t *sched.Thread) {
 			t.Footprint = fp
@@ -111,7 +114,7 @@ func IndirectCost(p mem.Pattern, total int64, seed uint64) IndirectCostResult {
 		return k.Now().Sub(0)
 	}()
 
-	k := newKernel(1, 1, sched.Features{}, seed)
+	k := newKernel(1, 1, sched.Features{}, seed, "")
 	sub := mem.Footprint{Pattern: p, Bytes: total / 2}
 	for i := 0; i < 2; i++ {
 		k.Spawn("half", func(t *sched.Thread) {
@@ -166,7 +169,7 @@ func (p Primitive) String() string {
 // execution time is dominated by the kernel's sleep/wakeup path. It
 // returns total execution time; Figure 10 reports vanilla/VB speedups.
 func PrimitiveStress(p Primitive, threads, cores int, vb bool, seed uint64) sim.Duration {
-	k := newKernel(cores, 1, sched.Features{VB: vb}, seed)
+	k := newKernel(cores, 1, sched.Features{VB: vb}, seed, "")
 	tbl := futex.NewTable(k, 0)
 	const iters = 1500
 	think := 3 * sim.Microsecond
@@ -304,7 +307,7 @@ type SpinPipelineResult struct {
 // stalled stage cascades into its downstream stages. The total locked work
 // is fixed (strong scaling); threads spin while waiting their turn.
 func SpinPipeline(kind SpinLockKind, threads, cores int, detect Detection, vm bool, seed uint64) SpinPipelineResult {
-	k := newKernel(cores, 1, sched.Features{VM: vm}, seed+uint64(kind)*977)
+	k := newKernel(cores, 1, sched.Features{VM: vm}, seed+uint64(kind)*977, "")
 	l := kind.New(k)
 	const totalRounds = 160
 	const stageWork = 150 * sim.Microsecond
@@ -355,7 +358,7 @@ type SensitivityResult struct {
 // acquisition attempt spins with the algorithm's own loop signature; BWD
 // should flag essentially every attempt.
 func Sensitivity(kind SpinLockKind, tries int, seed uint64) SensitivityResult {
-	k := newKernel(1, 1, sched.Features{}, seed+uint64(kind)*131)
+	k := newKernel(1, 1, sched.Features{}, seed+uint64(kind)*131, "")
 	l := kind.New(k)
 	sig := l.Sig()
 	never := k.NewWord(0)

@@ -62,6 +62,10 @@ type RunConfig struct {
 	// scheduler state at its sim-time interval (internal/metrics). Like
 	// Tracer it is observation-only and excluded from cache fingerprints.
 	Sampler sched.Sampler `json:"-"`
+	// Policy selects the kernel scheduling policy (sched.PolicyNames);
+	// "" is cfs. It participates in cache fingerprints: the policy changes
+	// every scheduling decision of the run.
+	Policy string
 	// LockImpl substitutes the user-level lock implementation, as the
 	// SHFLLOCK evaluation does via library interposition (Figure 15):
 	// "" or "pthread" (futex mutex), "mutexee", "mcstp", "shfllock".
@@ -131,11 +135,12 @@ func Run(spec *Spec, cfg RunConfig) Result {
 	}
 	topo := hw.Topology{Sockets: 2, CoresPerSocket: perSocket, ThreadsPerCore: smt}
 	k := sched.New(eng, sched.Config{
-		Topo:  topo,
-		NCPUs: cores * smt,
-		Costs: sched.DefaultCosts(),
-		Feat:  cfg.Feat,
-		Seed:  cfg.Seed + 99,
+		Topo:   topo,
+		NCPUs:  cores * smt,
+		Costs:  sched.DefaultCosts(),
+		Feat:   cfg.Feat,
+		Seed:   cfg.Seed + 99,
+		Policy: cfg.Policy,
 	})
 	tbl := futex.NewTable(k, 0)
 	if cfg.Tracer != nil {
@@ -480,7 +485,13 @@ func (r *runner) spawn() {
 				r.ringBody(t, i, rounds)
 			}
 		}
-		r.k.Spawn(fmt.Sprintf("%s-%d", s.Name, i), body)
+		th := r.k.Spawn(fmt.Sprintf("%s-%d", s.Name, i), body)
+		// Each thread's natural period is its share of one round of work;
+		// the EDF policy derives wakeup deadlines from it (other policies
+		// ignore the hint).
+		if iv := s.Interval(r.threads); iv > 0 {
+			th.SetRelDeadline(iv)
+		}
 	}
 }
 

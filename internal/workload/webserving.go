@@ -26,7 +26,9 @@ type WebConfig struct {
 	BackendCalls int
 	// BackendRTT is the mean backend service round trip.
 	BackendRTT sim.Duration
-	Seed       uint64
+	// Policy selects the scheduling policy ("" = cfs).
+	Policy string
+	Seed   uint64
 	// Sampler, when non-nil, snapshots scheduler state at its sim-time
 	// interval. Observation-only; excluded from cache fingerprints.
 	Sampler sched.Sampler `json:"-"`
@@ -68,7 +70,7 @@ func WebServing(cfg WebConfig) WebResult {
 		cfg.BackendRTT = 120 * sim.Microsecond
 	}
 
-	k := newKernel(cfg.Cores, 1, sched.Features{VB: cfg.VB}, cfg.Seed)
+	k := newKernel(cfg.Cores, 1, sched.Features{VB: cfg.VB}, cfg.Seed, cfg.Policy)
 	if cfg.Sampler != nil {
 		k.SetSampler(cfg.Sampler)
 	}

@@ -153,6 +153,14 @@ const (
 // DefaultCosts returns the paper-calibrated kernel cost table.
 func DefaultCosts() Costs { return sched.DefaultCosts() }
 
+// PolicyNames returns the registered scheduling-policy names ("cfs",
+// "edf", "shinjuku", "oracle") in stable order.
+func PolicyNames() []string { return sched.PolicyNames() }
+
+// ValidPolicy reports whether name is a registered scheduling policy (""
+// selects the default, cfs).
+func ValidPolicy(name string) bool { return sched.ValidPolicy(name) }
+
 // PaperTopology returns the paper's dual-socket 18-core testbed.
 func PaperTopology(smt int) Topology { return hw.PaperTopology(smt) }
 
@@ -177,6 +185,9 @@ type SystemConfig struct {
 	Costs *Costs
 	// Seed fixes the run's randomness.
 	Seed uint64
+	// Policy selects the scheduling policy (PolicyNames lists them; "" is
+	// cfs).
+	Policy string
 }
 
 // System bundles everything needed to write and run a simulated workload.
@@ -211,11 +222,12 @@ func NewSystem(cfg SystemConfig) *System {
 		perSocket = 1
 	}
 	k := sched.New(eng, sched.Config{
-		Topo:  hw.Topology{Sockets: 2, CoresPerSocket: perSocket, ThreadsPerCore: smt},
-		NCPUs: cores * smt,
-		Costs: costs,
-		Feat:  cfg.Features,
-		Seed:  cfg.Seed + 1,
+		Topo:   hw.Topology{Sockets: 2, CoresPerSocket: perSocket, ThreadsPerCore: smt},
+		NCPUs:  cores * smt,
+		Costs:  costs,
+		Feat:   cfg.Features,
+		Seed:   cfg.Seed + 1,
+		Policy: cfg.Policy,
 	})
 	s := &System{
 		eng:    eng,
