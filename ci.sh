@@ -222,6 +222,65 @@ if ! grep -q '"schema": "oversub-fleet/v1"' "$detdir/fleet1.json"; then
 fi
 echo "fleet report schema-tagged and byte-identical across pool widths."
 
+echo "== blame smoke: exactness oracle + determinism =="
+# Blame attribution runs through the exactness oracle (every thread's and
+# request's components must sum to its span — oversim and hpdc21 exit
+# nonzero on any violation), and two identical-seed runs must render
+# byte-identical blame tables: once on a single traced machine, once
+# across a traced fleet with per-machine and merged rows.
+"$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -vb -scale 0.05 \
+    -blame "$detdir/blame1.txt" >/dev/null
+"$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -vb -scale 0.05 \
+    -blame "$detdir/blame2.txt" >/dev/null
+if ! cmp -s "$detdir/blame1.txt" "$detdir/blame2.txt"; then
+    echo "blame smoke FAILED: identical seeds produced different blame tables" >&2
+    diff "$detdir/blame1.txt" "$detdir/blame2.txt" >&2 || true
+    exit 1
+fi
+"$detdir/hpdc21" -blame "$detdir/fblame1.txt" 2>/dev/null
+"$detdir/hpdc21" -blame "$detdir/fblame2.txt" 2>/dev/null
+if ! cmp -s "$detdir/fblame1.txt" "$detdir/fblame2.txt"; then
+    echo "blame smoke FAILED: identical-seed fleet blame tables differ" >&2
+    diff "$detdir/fblame1.txt" "$detdir/fblame2.txt" >&2 || true
+    exit 1
+fi
+echo "blame oracle clean; tables byte-identical across identical seeds."
+
+echo "== diff gate: byte-empty on identical, schema-tagged on change =="
+# The diff subcommand follows diff(1): identical artifacts must write
+# zero bytes and exit 0 in both formats; a genuinely different pair must
+# exit 1, and its JSON report must carry the oversub-diff/v1 schema tag.
+"$detdir/oversim" diff -o "$detdir/d-same.txt" "$detdir/blame1.txt" "$detdir/blame2.txt"
+if [ -s "$detdir/d-same.txt" ]; then
+    echo "diff gate FAILED: identical blame tables produced a non-empty report" >&2
+    cat "$detdir/d-same.txt" >&2
+    exit 1
+fi
+"$detdir/hpdc21" diff -format json -o "$detdir/d-same.json" \
+    "$detdir/fleet1.json" "$detdir/fleet2.json"
+if [ -s "$detdir/d-same.json" ]; then
+    echo "diff gate FAILED: identical fleet reports produced a non-empty report" >&2
+    cat "$detdir/d-same.json" >&2
+    exit 1
+fi
+# Same workload without -vb: a real behavioural change the report must
+# surface.
+"$detdir/oversim" -bench streamcluster -threads 16 -cores 4 -scale 0.05 \
+    -blame "$detdir/blame3.txt" >/dev/null
+rc=0
+"$detdir/oversim" diff -format json -o "$detdir/d-changed.json" \
+    "$detdir/blame1.txt" "$detdir/blame3.txt" || rc=$?
+if [ "$rc" -ne 1 ]; then
+    echo "diff gate FAILED: differing blame tables exited $rc, want 1" >&2
+    exit 1
+fi
+if ! grep -q '"schema": "oversub-diff/v1"' "$detdir/d-changed.json"; then
+    echo "diff gate FAILED: report missing oversub-diff/v1 schema tag" >&2
+    cat "$detdir/d-changed.json" >&2
+    exit 1
+fi
+echo "identical artifacts diff byte-empty; changes exit 1 with a schema-tagged report."
+
 echo "== bench smoke: BENCH schema + comparison =="
 # A quick bench pass must emit a schema-valid BENCH_<date>.json (the
 # harness validates before writing and exits nonzero otherwise), and a

@@ -69,6 +69,26 @@ func benchMatrix(quick bool) []benchWorkCase {
 		{"streamcluster-vanilla", runs, suite("streamcluster", oversub.BenchConfig{
 			Threads: 16, Cores: 4,
 		})},
+		// Observability overhead: the same VB cell with the trace ring and
+		// metrics sampler attached. Compare sim-ns/s against
+		// streamcluster-vb to read the cost of full instrumentation; the
+		// cell gates regressions in the tracing hot path like any other.
+		{"streamcluster-observed", runs, func(rep int) (int64, uint64) {
+			spec := oversub.FindBenchmark("streamcluster")
+			if spec == nil {
+				panic("bench: workload streamcluster missing from the suite")
+			}
+			r := oversub.RunBenchmark(spec, oversub.BenchConfig{
+				Threads: 16, Cores: 4, Feat: oversub.Features{VB: true},
+				Seed: benchSeed + uint64(rep), WorkScale: scale,
+				Tracer:  oversub.NewTraceRing(1 << 21),
+				Sampler: oversub.NewMetricsSampler(oversub.MetricsConfig{}),
+			})
+			if r.Err != nil {
+				panic(fmt.Sprintf("bench: streamcluster-observed did not complete: %v", r.Err))
+			}
+			return int64(r.ExecTime), r.Events
+		}},
 		{"lu-bwd-spin", runs, suite("lu", oversub.BenchConfig{
 			Threads: 16, Cores: 4, Detect: oversub.DetectBWD,
 		})},

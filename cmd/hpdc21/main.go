@@ -20,9 +20,16 @@
 // -trace <file> additionally records one representative workload under full
 // kernel tracing, validates the event stream against the trace-invariant
 // oracle, and writes the derived analytics summary; it may be used with or
-// without experiments. -metrics <file> likewise records one representative
-// workload with the sim-time time-series sampler attached and exports the
-// series (-metrics-format {csv,json,summary}).
+// without experiments. -blame <file> likewise traces a representative
+// 1-machine fleet, checks the blame exactness oracle (wall-time components
+// must sum to every thread's and request's span), and writes the fleet
+// blame report. -metrics <file> records one representative workload with
+// the sim-time time-series sampler attached and exports the series
+// (-metrics-format {csv,json,summary}).
+//
+// The diff subcommand (hpdc21 diff [-format text|json] <a> <b>) compares
+// two run artifacts into an oversub-diff/v1 report with diff(1) exit
+// codes: identical inputs produce no output and exit 0.
 //
 // The bench subcommand runs the self-benchmark matrix (host simulation
 // throughput over fixed workloads) and writes BENCH_<date>.json to
@@ -47,6 +54,7 @@ import (
 	"time"
 
 	"oversub"
+	"oversub/internal/diff"
 	"oversub/internal/runner"
 )
 
@@ -57,6 +65,7 @@ type options struct {
 	outDir     string
 	timeout    time.Duration
 	tracePath  string
+	blamePath  string
 	metricsTo  string
 	metricsFmt string
 	policy     string
@@ -85,9 +94,13 @@ var experiments = []experiment{
 	{"fig15", "Figure 15: comparison with SHFLLOCK and spin-then-park locks", fig15},
 	{"fleet", "Fleet capacity: machines needed to meet a p99 SLO, by kernel variant", fleet},
 	{"policies", "Policy zoo: wake-to-dispatch latency across scheduling policies", policies},
+	{"blame_policies", "Blame attribution: where request latency goes, by policy x kernel variant", blamePolicies},
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(diff.Main("hpdc21", os.Args[2:], os.Stdout, os.Stderr))
+	}
 	o := options{}
 	var (
 		jobs       int
@@ -104,6 +117,7 @@ func main() {
 	flag.StringVar(&o.outDir, "out", "", "also write each experiment's output to <dir>/<name>.txt")
 	flag.DurationVar(&o.timeout, "timeout", 0, "per-run host wall-clock budget (0 = unbounded)")
 	flag.StringVar(&o.tracePath, "trace", "", "record a traced, oracle-checked representative run and write its summary to this file")
+	flag.StringVar(&o.blamePath, "blame", "", "trace a representative 1-machine fleet, check the blame exactness oracle, and write the fleet blame report to this file")
 	flag.StringVar(&o.metricsTo, "metrics", "", "record a deterministic metrics time-series of a representative run and write it to this file")
 	flag.StringVar(&o.metricsFmt, "metrics-format", "summary", "metrics output format: csv, json, or summary")
 	flag.StringVar(&o.policy, "policy", "", "scheduling policy for every run: cfs, edf, shinjuku, or oracle (default cfs)")
@@ -118,7 +132,7 @@ func main() {
 	flag.Parse()
 
 	args := flag.Args()
-	if len(args) == 0 && o.tracePath == "" && o.metricsTo == "" {
+	if len(args) == 0 && o.tracePath == "" && o.blamePath == "" && o.metricsTo == "" {
 		usage()
 		os.Exit(2)
 	}
@@ -180,6 +194,12 @@ func main() {
 		exit := 0
 		if o.tracePath != "" {
 			if err := runTraceCheck(o, o.tracePath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				exit = 1
+			}
+		}
+		if o.blamePath != "" {
+			if err := runBlameCheck(o, o.blamePath); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				exit = 1
 			}
@@ -261,12 +281,15 @@ func emit(e experiment, o options, data []byte) error {
 }
 
 func usage() {
-	fmt.Fprintf(os.Stderr, "usage: hpdc21 [flags] <experiment>...|all|bench\n\nexperiments:\n")
+	fmt.Fprintf(os.Stderr, "usage: hpdc21 [flags] <experiment>...|all|bench\n")
+	fmt.Fprintf(os.Stderr, "       hpdc21 diff [-format text|json] [-o file] <a> <b>\n\nexperiments:\n")
 	for _, e := range experiments {
 		fmt.Fprintf(os.Stderr, "  %-6s %s\n", e.name, e.title)
 	}
 	fmt.Fprintf(os.Stderr, "  %-6s %s\n", "bench",
 		"continuous benchmark: simulator host throughput -> BENCH_<date>.json")
+	fmt.Fprintf(os.Stderr, "  %-6s %s\n", "diff",
+		"compare two run artifacts -> oversub-diff/v1 (exit 0 identical, 1 differs)")
 	fmt.Fprintf(os.Stderr, "\nflags:\n")
 	flag.PrintDefaults()
 }

@@ -11,6 +11,7 @@ import (
 	"oversub/internal/runner"
 	"oversub/internal/sched"
 	"oversub/internal/sweep"
+	"oversub/internal/trace"
 )
 
 // fleetFlags holds the -fleet* option group.
@@ -83,8 +84,10 @@ func selectVariants(s string) ([]sweep.Variant, error) {
 // runFleet executes the -fleet mode: a policy x variant x machine-count
 // capacity sweep at fixed offered load, printed as a table and optionally
 // written as a schema-validated oversub-fleet/v1 JSON report. With a
-// single grid cell, -trace and -metrics attach to machine 0 of that run.
-func runFleet(pool *runner.Pool, ff fleetFlags, seed uint64, traceTo, traceFm, metTo, metFm string) error {
+// single grid cell, -trace and -blame attach a tracer to EVERY machine of
+// that run (per-machine rings merged into one fleet artifact), and
+// -metrics attaches the time-series sampler to machine 0.
+func runFleet(pool *runner.Pool, ff fleetFlags, seed uint64, traceTo, traceFm, blameTo, metTo, metFm string) error {
 	machines, err := parseMachines(ff.machines)
 	if err != nil {
 		return err
@@ -122,20 +125,17 @@ func runFleet(pool *runner.Pool, ff fleetFlags, seed uint64, traceTo, traceFm, m
 	cfg.Base.Machine.SchedPolicy = ff.sched
 
 	cells := len(machines) * len(policies) * len(variants)
-	var ring *oversub.TraceRing
+	var rings []*oversub.TraceRing
 	var sampler *oversub.MetricsSampler
-	if traceTo != "" || metTo != "" {
+	if traceTo != "" || blameTo != "" || metTo != "" {
 		if cells != 1 {
-			return fmt.Errorf("-trace/-metrics record a single run; the fleet grid has %d cells (narrow -fleet, -fleet-policies, -fleet-variants)", cells)
+			return fmt.Errorf("-trace/-blame/-metrics record a single run; the fleet grid has %d cells (narrow -fleet, -fleet-policies, -fleet-variants)", cells)
 		}
-		if traceTo != "" {
-			ring = oversub.NewTraceRing(1 << 20)
-			cfg.Base.TracerFor = func(m int) sched.Tracer {
-				if m == 0 {
-					return ring
-				}
-				return nil
-			}
+		if traceTo != "" || blameTo != "" {
+			// Every machine gets its own ring — a fleet trace that silently
+			// covers only machine 0 is not a fleet trace.
+			cfg.Base.Machines = machines[0]
+			rings = cluster.AttachTracers(&cfg.Base, traceCapacity(blameTo))
 		}
 		if metTo != "" {
 			sampler = oversub.NewMetricsSampler(oversub.MetricsConfig{})
@@ -170,9 +170,20 @@ func runFleet(pool *runner.Pool, ff fleetFlags, seed uint64, traceTo, traceFm, m
 		}
 		fmt.Printf("\nwrote %s (%s)\n", ff.outJSON, cluster.Schema)
 	}
-	if ring != nil {
-		if err := emitTrace(ring, traceTo, traceFm); err != nil {
+	if rings != nil {
+		ms := trace.CollectMachines(rings)
+		if err := checkFleetTrace(ms); err != nil {
 			return err
+		}
+		if traceTo != "" {
+			if err := emitFleetTrace(ms, traceTo, traceFm); err != nil {
+				return err
+			}
+		}
+		if blameTo != "" {
+			if err := emitFleetBlame(ms, blameTo, cfg.Base.TenantNames()); err != nil {
+				return err
+			}
 		}
 	}
 	if sampler != nil {
@@ -181,4 +192,87 @@ func runFleet(pool *runner.Pool, ff fleetFlags, seed uint64, traceTo, traceFm, m
 		}
 	}
 	return nil
+}
+
+// checkFleetTrace runs the trace oracle (lifecycle plus blame exactness)
+// over every machine's stream. A wrapped ring only warns, matching
+// single-machine -trace behaviour; oracle violations are fatal.
+func checkFleetTrace(ms []trace.MachineEvents) error {
+	bad := 0
+	for _, m := range ms {
+		if m.Dropped > 0 {
+			fmt.Fprintf(os.Stderr, "oversim: machine %d trace ring wrapped (%d events dropped); invariant oracle skipped\n", m.Machine, m.Dropped)
+			continue
+		}
+		vs := append(trace.CheckInvariants(m.Events), trace.CheckBlame(m.Events)...)
+		for i, v := range vs {
+			if i >= 10 {
+				fmt.Fprintf(os.Stderr, "oversim: machine %d: ... and %d more violations\n", m.Machine, len(vs)-i)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "oversim: machine %d trace invariant violated: %s\n", m.Machine, v)
+		}
+		bad += len(vs)
+	}
+	if bad > 0 {
+		return fmt.Errorf("oversim: %d trace-invariant violations across the fleet", bad)
+	}
+	return nil
+}
+
+// emitFleetTrace writes the merged fleet trace: text and summary render
+// per-machine sections, json emits one Chrome/Perfetto document with one
+// process per machine.
+func emitFleetTrace(ms []trace.MachineEvents, path, format string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	switch format {
+	case "json":
+		werr = trace.WriteFleetChromeTrace(f, ms)
+	case "text", "summary":
+		for _, m := range ms {
+			if _, werr = fmt.Fprintf(f, "=== machine %d: %d events (%d dropped) ===\n", m.Machine, len(m.Events), m.Dropped); werr != nil {
+				break
+			}
+			if format == "text" {
+				werr = trace.WriteEvents(f, m.Events)
+			} else {
+				werr = trace.WriteSummary(f, m.Events, m.Dropped)
+			}
+			if werr == nil {
+				_, werr = fmt.Fprintln(f)
+			}
+			if werr != nil {
+				break
+			}
+		}
+	}
+	if werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+// emitFleetBlame writes the fleet blame report: per-machine rows plus the
+// digest-merged fleet rows. Wrapped rings are fatal here — attribution
+// needs complete streams.
+func emitFleetBlame(ms []trace.MachineEvents, path string, names []string) error {
+	for _, m := range ms {
+		if m.Dropped > 0 {
+			return fmt.Errorf("oversim: machine %d trace ring wrapped (%d events dropped); blame needs the complete stream — shorten -fleet-duration", m.Machine, m.Dropped)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteFleetBlame(f, ms, names); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

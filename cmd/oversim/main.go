@@ -8,6 +8,7 @@
 //	oversim -bench lu -threads 32 -cores 8 -ple -vm
 //	oversim -bench memcached -threads 16 -cores 4 -vb
 //	oversim -bench streamcluster -threads 32 -reps 8
+//	oversim diff results/a.txt results/b.txt
 //	oversim -list
 package main
 
@@ -18,6 +19,7 @@ import (
 	"os"
 
 	"oversub"
+	"oversub/internal/diff"
 	"oversub/internal/runner"
 	"oversub/internal/stats"
 	"oversub/internal/sweep"
@@ -25,6 +27,9 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(diff.Main("oversim", os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		bench     = flag.String("bench", "", "benchmark name (see -list), or 'memcached'")
 		list      = flag.Bool("list", false, "list available benchmarks")
@@ -43,6 +48,7 @@ func main() {
 		growTo    = flag.Int("grow", 0, "resize the cpuset to this many cores at t=2ms")
 		traceTo   = flag.String("trace", "", "write the scheduling event trace to this file")
 		traceFm   = flag.String("trace-format", "text", "trace output format: text (one event per line), json (Chrome trace-event, Perfetto-loadable), summary (derived analytics tables)")
+		blameTo   = flag.String("blame", "", "write a wall-time blame attribution report (per-thread and per-request component breakdown) to this file")
 		metTo     = flag.String("metrics", "", "write a deterministic metrics time-series of the run to this file")
 		metFm     = flag.String("metrics-format", "summary", "metrics output format: csv, json, or summary")
 		doSweep   = flag.Bool("sweep", false, "sweep threads x cores x kernel variants and print a table")
@@ -79,8 +85,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-reps must be >= 1")
 		os.Exit(2)
 	}
-	if *reps > 1 && *traceTo != "" {
-		fmt.Fprintln(os.Stderr, "-trace records a single run; it cannot be combined with -reps > 1")
+	if *reps > 1 && (*traceTo != "" || *blameTo != "") {
+		fmt.Fprintln(os.Stderr, "-trace/-blame record a single run; they cannot be combined with -reps > 1")
+		os.Exit(2)
+	}
+	if *blameTo != "" && *doSweep {
+		fmt.Fprintln(os.Stderr, "-blame records a single run; it cannot be combined with -sweep")
 		os.Exit(2)
 	}
 	if *metTo != "" && (*reps > 1 || *doSweep) {
@@ -121,7 +131,7 @@ func main() {
 			arrival: *fleetArr, sloUs: *fleetSLO, outJSON: *fleetOut,
 			sched: *policy, schedList: *fleetSch,
 		}
-		if err := runFleet(pool, ff, *seed, *traceTo, *traceFm, *metTo, *metFm); err != nil {
+		if err := runFleet(pool, ff, *seed, *traceTo, *traceFm, *blameTo, *metTo, *metFm); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -145,8 +155,8 @@ func main() {
 			Workers: workers, Cores: *cores, VB: *vb, Policy: *policy, Seed: *seed,
 		}
 		var ring *oversub.TraceRing
-		if *traceTo != "" {
-			ring = oversub.NewTraceRing(1 << 20)
+		if *traceTo != "" || *blameTo != "" {
+			ring = oversub.NewTraceRing(traceCapacity(*blameTo))
 			mcfg.Tracer = ring
 		}
 		var sampler *oversub.MetricsSampler
@@ -160,8 +170,14 @@ func main() {
 		fmt.Printf("  latency mean %12.1f us\n", r.Mean.Micros())
 		fmt.Printf("  latency p95  %12.1f us\n", r.P95.Micros())
 		fmt.Printf("  latency p99  %12.1f us\n", r.P99.Micros())
-		if ring != nil {
+		if ring != nil && *traceTo != "" {
 			if err := emitTrace(ring, *traceTo, *traceFm); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		if ring != nil && *blameTo != "" {
+			if err := emitBlame(ring, *blameTo, []string{"memcached"}); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
@@ -207,8 +223,8 @@ func main() {
 		LockImpl: *lockImp, Policy: *policy,
 	}
 	var ring *oversub.TraceRing
-	if *traceTo != "" {
-		ring = oversub.NewTraceRing(1 << 20)
+	if *traceTo != "" || *blameTo != "" {
+		ring = oversub.NewTraceRing(traceCapacity(*blameTo))
 		cfg.Tracer = ring
 	}
 	var sampler *oversub.MetricsSampler
@@ -249,12 +265,19 @@ func main() {
 		fmt.Printf("  detector        %12d windows, %d detections (%d TP, %d FP)\n",
 			r.BWD.Windows, r.BWD.Detections, r.BWD.TruePositive, r.BWD.FalsePositive)
 	}
-	if ring != nil {
+	if ring != nil && *traceTo != "" {
 		if err := emitTrace(ring, *traceTo, *traceFm); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("  trace           %12d events -> %s\n", ring.Len(), *traceTo)
+	}
+	if ring != nil && *blameTo != "" {
+		if err := emitBlame(ring, *blameTo, nil); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("  blame           %12d events -> %s\n", ring.Len(), *blameTo)
 	}
 	if sampler != nil {
 		if err := emitMetrics(sampler, *metTo, *metFm); err != nil {
@@ -263,6 +286,46 @@ func main() {
 		}
 		fmt.Printf("  metrics         %12d windows -> %s\n", sampler.Len(), *metTo)
 	}
+}
+
+// traceCapacity sizes a run's trace ring. Blame attribution needs the
+// complete stream (a wrapped ring cannot be attributed), so -blame runs
+// get a larger ring than plain -trace runs, where wrapping only skips
+// the oracle.
+func traceCapacity(blameTo string) int {
+	if blameTo != "" {
+		return 1 << 22
+	}
+	return 1 << 20
+}
+
+// emitBlame validates the recorded stream (lifecycle oracle plus the
+// blame exactness invariant — components must sum to each span) and
+// writes the blame attribution report to path. A wrapped ring is fatal:
+// attribution needs every event.
+func emitBlame(ring *oversub.TraceRing, path string, names []string) error {
+	if ring.Dropped() > 0 {
+		return fmt.Errorf("oversim: trace ring wrapped (%d events dropped); blame needs the complete stream — shorten the run", ring.Dropped())
+	}
+	if vs := ring.Check(); len(vs) > 0 {
+		for i, v := range vs {
+			if i >= 20 {
+				fmt.Fprintf(os.Stderr, "oversim: ... and %d more violations\n", len(vs)-i)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "oversim: trace invariant violated: %s\n", v)
+		}
+		return fmt.Errorf("oversim: %d trace-invariant violations", len(vs))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteBlame(f, trace.ComputeBlame(ring.Events()), names, 0); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // emitMetrics writes the sampled time-series to path in the chosen format.

@@ -240,6 +240,36 @@ func TestSimScopeSeesPolicyFiles(t *testing.T) {
 			t.Errorf("internal/sched/%s missing from the analyzed file set", want)
 		}
 	}
+
+	// Same staleness pin for the observability layer: blame attribution
+	// and the fleet trace plumbing are in simulation scope, and their
+	// files (exhaustive Kind switches, hot-path adjacency) must stay in
+	// the analyzed set.
+	byPath := map[string]*Package{}
+	for _, pkg := range pkgs {
+		byPath[pkg.Path] = pkg
+	}
+	for path, files := range map[string][]string{
+		"oversub/internal/trace":   {"blame.go", "oracle.go", "analytics.go", "chrome.go"},
+		"oversub/internal/cluster": {"observe.go", "cluster.go"},
+	} {
+		pkg := byPath[path]
+		if pkg == nil {
+			t.Fatalf("%s not loaded", path)
+		}
+		if in := DeriveSimScope("oversub", pkgs); !in(pkg.Path) {
+			t.Fatalf("%s must be in simulation scope", pkg.Path)
+		}
+		have := map[string]bool{}
+		for _, f := range pkg.Files {
+			have[filepath.Base(loader.Fset().Position(f.Pos()).Filename)] = true
+		}
+		for _, want := range files {
+			if !have[want] {
+				t.Errorf("%s/%s missing from the analyzed file set", path, want)
+			}
+		}
+	}
 }
 
 // TestScopeExcludesAreLive pins the audit contract of the exclusion list:

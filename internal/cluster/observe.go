@@ -1,0 +1,39 @@
+package cluster
+
+import (
+	"oversub/internal/sched"
+	"oversub/internal/trace"
+)
+
+// AttachTracers equips every machine of the fleet with its own trace ring
+// and installs the TracerFor hook, returning the rings machine-indexed.
+// The machine count is resolved from the config's defaults, so set
+// cfg.Machines (and anything that affects it) before calling. Tracing a
+// fleet this way feeds trace.CollectMachines / WriteFleetChromeTrace /
+// WriteFleetBlame, which aggregate across all machines — never just
+// machine 0.
+func AttachTracers(cfg *FleetConfig, capacity int) []*trace.Ring {
+	n := cfg.WithDefaults().Machines
+	rings := make([]*trace.Ring, n)
+	for i := range rings {
+		rings[i] = trace.NewRing(capacity)
+	}
+	cfg.TracerFor = func(m int) sched.Tracer {
+		if m >= 0 && m < len(rings) {
+			return rings[m]
+		}
+		return nil
+	}
+	return rings
+}
+
+// TenantNames returns the display names of the resolved tenant mix,
+// tenant-indexed — the mapping blame reports use for their rows.
+func (cfg FleetConfig) TenantNames() []string {
+	cfg.defaults()
+	names := make([]string, len(cfg.Tenants))
+	for i := range cfg.Tenants {
+		names[i] = cfg.Tenants[i].Name
+	}
+	return names
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"oversub/internal/trace"
+)
+
+// TestFleetTracesEveryMachine is the regression test for the old CLI
+// behaviour of silently tracing only machine 0: AttachTracers must equip
+// every machine, every ring must see events, and each per-machine stream
+// must satisfy the full oracle (lifecycle + blame exactness).
+func TestFleetTracesEveryMachine(t *testing.T) {
+	cfg := smallFleet(3, 11)
+	rings := AttachTracers(&cfg, 1<<21)
+	if len(rings) != 3 {
+		t.Fatalf("AttachTracers returned %d rings for a 3-machine fleet", len(rings))
+	}
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for m, r := range rings {
+		if r.Len() == 0 {
+			t.Errorf("machine %d recorded no events: fleet tracing is machine-0-only again", m)
+			continue
+		}
+		if r.Dropped() > 0 {
+			t.Fatalf("machine %d ring wrapped (%d dropped); grow the test ring", m, r.Dropped())
+		}
+		for i, v := range r.Check() {
+			if i >= 5 {
+				t.Errorf("machine %d: ... more violations", m)
+				break
+			}
+			t.Errorf("machine %d: %s", m, v)
+		}
+	}
+}
+
+// TestFleetBlameAggregation drives the fleet blame pipeline end to end:
+// per-machine blame rows exist for the tenants, merge across machines, and
+// the fleet report renders every tenant by name.
+func TestFleetBlameAggregation(t *testing.T) {
+	cfg := smallFleet(2, 5)
+	rings := AttachTracers(&cfg, 1<<21)
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	machines := trace.CollectMachines(rings)
+	var rows []trace.BlameRow
+	for _, m := range machines {
+		b := trace.ComputeBlame(m.Events)
+		if len(b.Requests) == 0 {
+			t.Fatalf("machine %d has no completed request spans", m.Machine)
+		}
+		rows = append(rows, trace.BlameRows(m.Machine, b)...)
+	}
+	merged := trace.MergeBlameRows(rows)
+	if len(merged) == 0 {
+		t.Fatal("no merged blame rows")
+	}
+	var perMachine, fleet uint64
+	for i := range rows {
+		perMachine += rows[i].Requests
+	}
+	for i := range merged {
+		if merged[i].Machine != -1 {
+			t.Errorf("merged row %d keeps machine %d", i, merged[i].Machine)
+		}
+		fleet += merged[i].Requests
+	}
+	if perMachine != fleet {
+		t.Fatalf("merge lost requests: %d per-machine vs %d merged", perMachine, fleet)
+	}
+
+	var buf bytes.Buffer
+	if err := trace.WriteFleetBlame(&buf, machines, cfg.TenantNames()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	names := cfg.TenantNames()
+	named := 0
+	for _, row := range merged {
+		if row.Tenant < 0 || row.Tenant >= len(names) {
+			t.Errorf("merged row has out-of-range tenant %d", row.Tenant)
+			continue
+		}
+		named++
+		if !strings.Contains(out, names[row.Tenant]) {
+			t.Errorf("fleet blame report missing tenant %q:\n%s", names[row.Tenant], out)
+		}
+	}
+	if named == 0 {
+		t.Fatalf("no named tenant rows in fleet blame report:\n%s", out)
+	}
+}

@@ -1,0 +1,168 @@
+package diff
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestIdenticalIsByteEmpty(t *testing.T) {
+	doc := []byte(`{"schema":"x/v1","n":3}`)
+	r := Compare("a.json", doc, "b.json", append([]byte(nil), doc...))
+	if !r.Identical {
+		t.Fatal("byte-equal inputs not reported identical")
+	}
+	for _, format := range []string{"text", "json"} {
+		var buf bytes.Buffer
+		if err := r.Write(&buf, format); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != 0 {
+			t.Errorf("%s output of identical inputs is %d bytes, want 0: %q",
+				format, buf.Len(), buf.String())
+		}
+	}
+}
+
+func TestJSONNumericDeltas(t *testing.T) {
+	a := []byte(`{"p99_ns": 1000, "name": "run", "extra_a": true}`)
+	b := []byte(`{"p99_ns": 1500, "name": "run", "extra_b": false}`)
+	r := Compare("a", a, "b", b)
+	if r.Identical || r.Format != "json" {
+		t.Fatalf("got identical=%v format=%q", r.Identical, r.Format)
+	}
+	byPath := map[string]Entry{}
+	for _, e := range r.Entries {
+		byPath[e.Path] = e
+	}
+	e, ok := byPath["p99_ns"]
+	if !ok || e.Kind != "changed" {
+		t.Fatalf("p99_ns entry missing or wrong kind: %+v", byPath)
+	}
+	if e.Delta == nil || *e.Delta != 500 {
+		t.Errorf("p99_ns delta = %v, want 500", e.Delta)
+	}
+	if e.DeltaPct == nil || *e.DeltaPct != 50 {
+		t.Errorf("p99_ns delta_pct = %v, want 50", e.DeltaPct)
+	}
+	if byPath["extra_a"].Kind != "removed" || byPath["extra_b"].Kind != "added" {
+		t.Errorf("one-sided keys misclassified: %+v %+v", byPath["extra_a"], byPath["extra_b"])
+	}
+	if _, ok := byPath["name"]; ok {
+		t.Error("unchanged leaf reported as a difference")
+	}
+}
+
+func TestJSONNestedAndArrays(t *testing.T) {
+	a := []byte(`{"rows": [{"t": "cache", "n": 1}, {"t": "web", "n": 2}]}`)
+	b := []byte(`{"rows": [{"t": "cache", "n": 1}, {"t": "web", "n": 9}, {"t": "new", "n": 3}]}`)
+	r := Compare("a", a, "b", b)
+	byPath := map[string]string{}
+	for _, e := range r.Entries {
+		byPath[e.Path] = e.Kind
+	}
+	if byPath["rows[1].n"] != "changed" {
+		t.Errorf("rows[1].n = %q, want changed (entries %+v)", byPath["rows[1].n"], r.Entries)
+	}
+	if byPath["rows[2].t"] != "added" || byPath["rows[2].n"] != "added" {
+		t.Errorf("appended row not reported added: %+v", byPath)
+	}
+}
+
+func TestCosmeticJSONDriftStillDiffers(t *testing.T) {
+	a := []byte(`{"a":1,"b":2}`)
+	b := []byte(`{"b": 2, "a": 1}`)
+	r := Compare("a", a, "b", b)
+	if r.Identical {
+		t.Fatal("cosmetically different bytes reported identical")
+	}
+	if len(r.Entries) == 0 {
+		t.Fatal("cosmetic drift produced no entries")
+	}
+}
+
+func TestTextLineDiff(t *testing.T) {
+	a := []byte("header\nvalue 1\ntail\n")
+	b := []byte("header\nvalue 2\ntail\nextra\n")
+	r := Compare("a.txt", a, "b.txt", b)
+	if r.Format != "text" {
+		t.Fatalf("format %q, want text", r.Format)
+	}
+	if len(r.Entries) != 2 {
+		t.Fatalf("entries: %+v", r.Entries)
+	}
+	if r.Entries[0].Path != "line 2" || r.Entries[0].Kind != "changed" {
+		t.Errorf("entry 0: %+v", r.Entries[0])
+	}
+	if r.Entries[1].Path != "line 4" || r.Entries[1].Kind != "added" {
+		t.Errorf("entry 1: %+v", r.Entries[1])
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var a, b strings.Builder
+	for i := 0; i < MaxEntries+50; i++ {
+		a.WriteString("same\n")
+		b.WriteString("diff\n")
+	}
+	r := Compare("a", []byte(a.String()), "b", []byte(b.String()))
+	if len(r.Entries) != MaxEntries {
+		t.Errorf("entries = %d, want %d", len(r.Entries), MaxEntries)
+	}
+	if r.Truncated != 50 {
+		t.Errorf("truncated = %d, want 50", r.Truncated)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "omitted") {
+		t.Error("text rendering does not surface truncation")
+	}
+}
+
+func TestJSONReportRoundTrip(t *testing.T) {
+	r := Compare("a", []byte(`{"n":1}`), "b", []byte(`{"n":2}`))
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaTag != Schema || len(back.Entries) != len(r.Entries) {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+	if err := Validate([]byte(`{"schema":"bogus/v9"}`)); err == nil {
+		t.Error("Validate accepted a foreign schema tag")
+	}
+}
+
+func TestCompareDeterministic(t *testing.T) {
+	a := []byte(`{"z": 1, "m": {"x": 2, "a": 3}, "arr": [5, 6]}`)
+	b := []byte(`{"z": 2, "m": {"x": 4, "a": 3}, "arr": [5, 7]}`)
+	var first string
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if err := Compare("a", a, "b", b).WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = buf.String()
+		} else if buf.String() != first {
+			t.Fatalf("run %d rendered differently:\n%s\nvs\n%s", i, buf.String(), first)
+		}
+	}
+	// Paths must come out sorted.
+	if !strings.Contains(first, "arr[1]") || !strings.Contains(first, "m.x") {
+		t.Fatalf("missing expected paths:\n%s", first)
+	}
+	if strings.Index(first, "arr[1]") > strings.Index(first, "m.x") {
+		t.Errorf("paths not sorted:\n%s", first)
+	}
+}

@@ -65,7 +65,7 @@ func (p *Poll) Wait(t *sched.Thread) Event {
 		} else {
 			t.Run(costs.SleepDequeue)
 			if !w.woken {
-				t.Block()
+				t.BlockReason(sched.BlockIO)
 			}
 		}
 		w.done = true

@@ -194,7 +194,7 @@ func (f *Futex) Wait(t *sched.Thread, val uint64) bool {
 		// change, schedule away.
 		t.Run(costs.SleepDequeue)
 		if !w.woken {
-			t.Block()
+			t.BlockReason(sched.BlockFutex)
 		}
 	}
 	w.done = true
@@ -365,7 +365,7 @@ func (f *Futex) WaitTimeout(t *sched.Thread, val uint64, timeout sim.Duration) (
 	} else {
 		t.Run(costs.SleepDequeue)
 		if !w.woken {
-			t.Block()
+			t.BlockReason(sched.BlockFutex)
 		}
 	}
 	timer.Cancel()

@@ -43,6 +43,10 @@ type cpu struct {
 	slice    *sim.Timer // slice-expiry tick, rearmed per dispatch
 
 	overhead sim.Duration // pending kernel overhead before the op resumes
+	// migPending is the share of the pending overhead that came from
+	// migration warmup (Thread.warm charged at dispatch); consumed as
+	// overhead segments close so blame can carve it out (mig-penalty).
+	migPending sim.Duration
 
 	lock        *KLock // runqueue lock taken by remote wakers
 	dispatchSeq uint64
@@ -208,6 +212,13 @@ func (k *Kernel) sampleTick() {
 	}
 	k.sampler.Sample(k, k.eng.Now())
 	k.armSample()
+}
+
+// EmitTrace lets simulated workloads add their own events (request span
+// markers, DESIGN.md §14) to the kernel's trace stream. A no-op without a
+// tracer; pass a nil thread and cpu -1 for machine-level events.
+func (k *Kernel) EmitTrace(cpu int, t *Thread, kind string, arg int64) {
+	k.trace(cpu, t, kind, arg)
 }
 
 // trace emits one event if a tracer is installed.
@@ -600,6 +611,7 @@ func (k *Kernel) schedule(c *cpu) {
 	}
 	if c.lastRan != next {
 		c.overhead += k.costs.ContextSwitch + next.warm
+		c.migPending += next.warm
 		next.warm = 0
 		if !next.Footprint.Zero() {
 			c.overhead += k.memModel.PerSwitchCost(next.Footprint)
@@ -676,6 +688,24 @@ func (k *Kernel) closeSegment(c *cpu) {
 			t.vruntime += t.scaleByWeight(cpuT)
 			t.CPUTime += cpuT
 		}
+		if c.migPending > 0 && t != nil && cpuT > 0 {
+			mig := c.migPending
+			if mig > cpuT {
+				mig = cpuT
+			}
+			c.migPending -= mig
+			migWall := sim.Duration(float64(wall) * float64(mig) / float64(cpuT))
+			if migWall > wall {
+				migWall = wall
+			}
+			if migWall > 0 {
+				k.trace(c.id, t, "mig-penalty", int64(migWall))
+			}
+		}
+		if c.overhead == 0 {
+			// The forgiveness clamp above may have swallowed the tail.
+			c.migPending = 0
+		}
 	case segRun:
 		t.req.remaining -= cpuT
 		if t.req.remaining < 0 {
@@ -697,6 +727,9 @@ func (k *Kernel) closeSegment(c *cpu) {
 		t.SpinTime += cpuT
 		t.vruntime += t.scaleByWeight(cpuT)
 		c.core.AccountSpin(cpuT, t.req.sig)
+		if wall > 0 {
+			k.trace(c.id, t, "spin-seg", int64(wall))
+		}
 	case segNone:
 		// Unreachable: filtered by the early return above; listed so the
 		// switch stays exhaustive over segKind.
@@ -878,7 +911,7 @@ func (k *Kernel) applyDirective(t *Thread) {
 	case reqBlock:
 		k.offCPU(c, t, true)
 		t.state = StateSleeping
-		k.trace(c.id, t, "block", 0)
+		k.trace(c.id, t, "block", t.req.blockArg)
 		k.reschedule(c)
 	case reqVBlock:
 		k.offCPU(c, t, true)

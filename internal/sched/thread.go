@@ -69,7 +69,18 @@ type request struct {
 	epoch      uint64       // guards stale completion events
 	loopIter   float64      // reqTight: ns per loop iteration
 	completing bool         // reqSpin: a completion event is in flight
+	blockArg   int64        // reqBlock: reason tag carried in the trace event
 }
+
+// Block reasons, carried in the Arg of "block" trace events so blame
+// attribution can split futex/lock waits from other sleeps. They mirror
+// trace.BlockReasonOther/Futex/IO (the trace package owns the Arg
+// taxonomy; this package cannot import it).
+const (
+	BlockOther int64 = iota
+	BlockFutex
+	BlockIO
+)
 
 // Thread is a simulated kernel thread.
 type Thread struct {
@@ -300,6 +311,12 @@ func (t *Thread) Sleep(d sim.Duration) {
 // and dispatched again.
 func (t *Thread) Block() {
 	t.park(request{kind: reqBlock})
+}
+
+// BlockReason is Block with a reason tag (BlockFutex, BlockIO, ...) that
+// rides on the "block" trace event for blame attribution.
+func (t *Thread) BlockReason(reason int64) {
+	t.park(request{kind: reqBlock, blockArg: reason})
 }
 
 // VBlock performs virtual blocking: thread_state is set and the thread is

@@ -20,6 +20,8 @@ const (
 	FleetV1 = "oversub-fleet/v1"
 	// HPDC21CacheV4 tags the cmd/hpdc21 experiment result cache.
 	HPDC21CacheV4 = "hpdc21/v4"
+	// DiffV1 tags internal/diff cross-run differential reports.
+	DiffV1 = "oversub-diff/v1"
 	// DiagV1 tags simlint JSON diagnostic artifacts and baselines.
 	DiagV1 = "simlint-diag/v1"
 	// SimlintV2 is the simlint analyzer-suite version, salting the

@@ -58,6 +58,23 @@ func digestIndex(d sim.Duration) int {
 	return int(uint64(exp)<<digestSubBits + v>>exp)
 }
 
+// digestBounds returns the value range [lo, hi] a bucket covers — the
+// inverse of digestIndex. Exact buckets cover a single value; log buckets
+// cover [m<<exp, (m+1)<<exp - 1] with m in [digestSub, 2*digestSub).
+func digestBounds(i int) (lo, hi sim.Duration) {
+	if i < digestSub {
+		return sim.Duration(i), sim.Duration(i)
+	}
+	exp := uint(i/digestSub - 1)
+	m := uint64(i - int(exp)*digestSub)
+	l := m << exp
+	h := (m+1)<<exp - 1
+	if h > math.MaxInt64 {
+		h = math.MaxInt64
+	}
+	return sim.Duration(l), sim.Duration(h)
+}
+
 // Add records one sample.
 func (g *Digest) Add(d sim.Duration) {
 	if d < 0 {
@@ -150,7 +167,20 @@ func (g *Digest) Percentile(p float64) sim.Duration {
 		}
 		seen += c
 		if seen >= rank {
-			return sim.Duration(g.sums[i] / int64(c))
+			// The bucket mean is the ideal answer, but a bucket's running
+			// sum can overflow int64 under adversarially large samples
+			// (many samples near the top octaves). Clamping to the bucket's
+			// value range keeps the answer within one bucket width of the
+			// exact order statistic even then.
+			mean := sim.Duration(g.sums[i] / int64(c))
+			lo, hi := digestBounds(i)
+			if mean < lo {
+				mean = lo
+			}
+			if mean > hi {
+				mean = hi
+			}
+			return mean
 		}
 	}
 	return g.max // unreachable: counts sum to n

@@ -88,6 +88,95 @@ func TestDigestMergeDeterminism(t *testing.T) {
 	}
 }
 
+// TestDigestMergePairwiseLaws proves the algebraic merge contract used by
+// fleet blame aggregation, where per-(machine, tenant) sub-digests fold in
+// whatever grouping the row merge visits them: pairwise merge is
+// associative ((a+b)+c == a+(b+c)), commutative (a+b == b+a), and the
+// empty digest is its identity.
+func TestDigestMergePairwiseLaws(t *testing.T) {
+	rng := sim.NewRand(19)
+	mk := func(n, scale int) *Digest {
+		var g Digest
+		for i := 0; i < n; i++ {
+			g.Add(sim.Duration(rng.Intn(scale) + 1))
+		}
+		return &g
+	}
+	// Deliberately unbalanced: different counts and disjoint magnitude
+	// ranges, so any asymmetry in Merge's min/max/count handling shows.
+	a := mk(17, 1000)
+	b := mk(900, 50_000_000)
+	c := mk(3, 3)
+
+	clone := func(g *Digest) *Digest { cp := *g; return &cp }
+	merge := func(x, y *Digest) *Digest { m := clone(x); m.Merge(y); return m }
+
+	left := merge(merge(a, b), c)
+	right := merge(a, merge(b, c))
+	if !reflect.DeepEqual(left, right) {
+		t.Fatal("merge is not associative: (a+b)+c != a+(b+c)")
+	}
+	if !reflect.DeepEqual(merge(a, b), merge(b, a)) {
+		t.Fatal("merge is not commutative: a+b != b+a")
+	}
+	var empty Digest
+	if !reflect.DeepEqual(merge(a, &empty), a) {
+		t.Fatal("empty digest is not a right identity")
+	}
+	idLeft := merge(&empty, a)
+	if !reflect.DeepEqual(idLeft, a) {
+		t.Fatal("empty digest is not a left identity")
+	}
+}
+
+// TestDigestAdversarialBoundaries stresses the quantile-error contract on
+// the worst inputs for a log-bucketed histogram: samples planted exactly
+// on bucket edges (powers of two and their neighbours, sub-bucket edges)
+// and a spread covering the full octave range. Every reported percentile
+// must stay within one bucket width (12.5% relative) of the exact order
+// statistic, and within the digest's own [min, max].
+func TestDigestAdversarialBoundaries(t *testing.T) {
+	var samples []sim.Duration
+	// Octave edges and off-by-one neighbours across the whole range.
+	for exp := uint(0); exp < 62; exp += 2 {
+		v := sim.Duration(1) << exp
+		samples = append(samples, v-1, v, v+1)
+	}
+	// Sub-bucket edges inside one octave: v = (digestSub+j) << e.
+	for j := int64(0); j < digestSub; j++ {
+		samples = append(samples, sim.Duration((digestSub+j)<<20))
+	}
+	// Repeat each boundary to give ranks weight.
+	base := samples
+	for i := 0; i < 4; i++ {
+		samples = append(samples, base...)
+	}
+
+	var g Digest
+	var exact Latency
+	for _, d := range samples {
+		g.Add(d)
+		exact.Add(d)
+	}
+	for _, p := range []float64{0, 1, 10, 25, 50, 75, 90, 99, 99.9, 100} {
+		want := exact.Percentile(p)
+		got := g.Percentile(p)
+		if want == 0 {
+			if got != 0 {
+				t.Errorf("p%.1f: digest %v, exact 0", p, got)
+			}
+			continue
+		}
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 0.125 {
+			t.Errorf("p%.1f: digest %v vs exact %v (rel err %.4f > 0.125)", p, got, want, rel)
+		}
+		if got < g.Min() || got > g.Max() {
+			t.Errorf("p%.1f: %v outside digest range [%v, %v]", p, got, g.Min(), g.Max())
+		}
+	}
+}
+
 // TestDigestClamping pins the Latency-compatible clamping behavior.
 func TestDigestClamping(t *testing.T) {
 	var g Digest

@@ -169,6 +169,9 @@ func (a *Analytics) analyzeThreads(events []Event) {
 		case CPUResize:
 			// A cpuset resize is a machine-level event; no thread changes
 			// state.
+		case ReqArrive, ReqStart, ReqEnd, SpinSeg, MigPenalty:
+			// Blame annotations ride along without changing lifecycle state;
+			// blame.go consumes them.
 		}
 		if e.Kind == Wake {
 			s.wakeAt = e.At

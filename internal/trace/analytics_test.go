@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"bytes"
@@ -8,6 +8,7 @@ import (
 
 	"oversub/internal/sched"
 	"oversub/internal/sim"
+	. "oversub/internal/trace"
 	"oversub/internal/workload"
 )
 

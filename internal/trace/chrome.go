@@ -25,7 +25,36 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		first = false
 		bw.printf(format, args...)
 	}
+	writeChromeProcess(emit, 0, "cpus", events)
+	bw.printf("\n]}\n")
+	return bw.err
+}
 
+// WriteFleetChromeTrace exports a multi-machine trace as one Chrome JSON
+// document: each machine becomes a process (pid = machine index) and each
+// of its CPUs a thread track, so Perfetto renders the fleet side by side.
+func WriteFleetChromeTrace(w io.Writer, machines []MachineEvents) error {
+	bw := &errWriter{w: w}
+	bw.printf("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.printf(",\n")
+		}
+		first = false
+		bw.printf(format, args...)
+	}
+	for _, m := range machines {
+		writeChromeProcess(emit, m.Machine, fmt.Sprintf("machine%d", m.Machine), m.Events)
+	}
+	bw.printf("\n]}\n")
+	return bw.err
+}
+
+// writeChromeProcess emits one machine's event stream as a Chrome process:
+// metadata naming the process and its per-CPU thread tracks, then the
+// slices and instants.
+func writeChromeProcess(emit func(format string, args ...any), pid int, pname string, events []Event) {
 	// Name the per-CPU tracks.
 	maxCPU := -1
 	for _, e := range events {
@@ -33,9 +62,9 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			maxCPU = e.CPU
 		}
 	}
-	emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"args\":{\"name\":\"cpus\"}}")
+	emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"args\":{\"name\":%q}}", pid, pname)
 	for cpu := 0; cpu <= maxCPU; cpu++ {
-		emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"cpu%d\"}}", cpu, cpu)
+		emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"cpu%d\"}}", pid, cpu, cpu)
 	}
 
 	// Open running slice per CPU: thread id and start time.
@@ -57,8 +86,8 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			return
 		}
 		dur := endNS - o.start
-		emit("{\"name\":\"t%d\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":0,\"tid\":%d,\"args\":{\"thread\":%d,\"end\":%q}}",
-			o.thread, ts(o.start), ts(dur), cpu, o.thread, string(reason))
+		emit("{\"name\":\"t%d\",\"cat\":\"sched\",\"ph\":\"X\",\"ts\":%s,\"dur\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"thread\":%d,\"end\":%q}}",
+			o.thread, ts(o.start), ts(dur), pid, cpu, o.thread, string(reason))
 		o.thread = -1
 	}
 
@@ -76,22 +105,23 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			if e.CPU >= 0 && e.CPU <= maxCPU && running[e.CPU].thread == e.Thread {
 				closeSlice(e.CPU, ns, e.Kind)
 			}
-		case Wake, VWake, Migrate, Spawn, CPUResize:
+		case Wake, VWake, Migrate, Spawn, CPUResize, ReqArrive, ReqStart, ReqEnd:
 			tid := e.CPU
 			if tid < 0 {
 				tid = 0
 			}
-			emit("{\"name\":%q,\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":0,\"tid\":%d,\"args\":{\"thread\":%d,\"arg\":%d}}",
-				string(e.Kind), ts(ns), tid, e.Thread, e.Arg)
+			emit("{\"name\":%q,\"cat\":\"sched\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%s,\"pid\":%d,\"tid\":%d,\"args\":{\"thread\":%d,\"arg\":%d}}",
+				string(e.Kind), ts(ns), pid, tid, e.Thread, e.Arg)
 		case Enqueue:
 			// Enqueues neither open nor close a running slice and emit no
 			// instant: queue motion is visible through Dispatch.
+		case SpinSeg, MigPenalty:
+			// Carve-out markers inside a running slice; the slice itself is
+			// already rendered, so they add nothing visual.
 		}
 	}
 	// Close slices still open at the end of the trace.
 	for cpu := range running {
 		closeSlice(cpu, lastNS, "trace-end")
 	}
-	bw.printf("\n]}\n")
-	return bw.err
 }

@@ -130,7 +130,9 @@ func CheckInvariants(events []Event) []Violation {
 			}
 			cpuClock[e.CPU] = e.At
 		}
-		if e.Kind == CPUResize {
+		if e.Kind == CPUResize || e.Kind == ReqArrive {
+			// Both are emitted outside any thread context (ReqArrive from the
+			// posting interrupt); the blame walker validates span bracketing.
 			continue
 		}
 		if e.Thread < 0 {
@@ -233,6 +235,17 @@ func CheckInvariants(events []Event) []Violation {
 			}
 			offCPU()
 			states[e.Thread] = lsExited
+		case ReqStart, ReqEnd, SpinSeg, MigPenalty:
+			// Annotations on the running thread: they never change lifecycle
+			// state, but must be emitted by the CPU's current thread.
+			if st != lsRunning {
+				report(i, "%s of %s thread", e.Kind, st)
+			}
+			if e.CPU < 0 || e.CPU > maxCPU {
+				report(i, "%s on invalid cpu %d", e.Kind, e.CPU)
+			} else if curr[e.CPU] != e.Thread {
+				report(i, "%s of t%d but cpu%d is running t%d", e.Kind, e.Thread, e.CPU, curr[e.CPU])
+			}
 		default:
 			report(i, "unknown event kind %q", e.Kind)
 		}
@@ -240,13 +253,15 @@ func CheckInvariants(events []Event) []Violation {
 	return out
 }
 
-// Check validates the ring's recorded stream. A wrapped ring cannot be
-// validated (the stream starts mid-lifecycle); it reports one violation
-// saying so rather than a cascade of spurious ones.
+// Check validates the ring's recorded stream: the lifecycle invariants
+// above plus the blame-attribution exactness invariant (CheckBlame). A
+// wrapped ring cannot be validated (the stream starts mid-lifecycle); it
+// reports one violation saying so rather than a cascade of spurious ones.
 func (r *Ring) Check() []Violation {
 	if r.Dropped() > 0 {
 		return []Violation{{Index: -1, Msg: fmt.Sprintf(
 			"ring wrapped (%d events dropped): grow the capacity to validate invariants", r.Dropped())}}
 	}
-	return CheckInvariants(r.Events())
+	events := r.Events()
+	return append(CheckInvariants(events), CheckBlame(events)...)
 }

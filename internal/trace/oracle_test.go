@@ -1,10 +1,11 @@
-package trace
+package trace_test
 
 import (
 	"testing"
 
 	"oversub/internal/sched"
 	"oversub/internal/sim"
+	. "oversub/internal/trace"
 	"oversub/internal/workload"
 )
 

@@ -36,7 +36,47 @@ const (
 	Exit      Kind = "exit"
 	SliceEnd  Kind = "slice-end"
 	CPUResize Kind = "cpuset-resize"
+
+	// Blame-attribution kinds (DESIGN.md §14). ReqArrive is emitted from
+	// interrupt context when a request is posted to a service (Thread = -1,
+	// CPU = -1); ReqStart/ReqEnd bracket its service on the worker thread.
+	// All three carry SpanArg(span, tenant) in Arg. SpinSeg and MigPenalty
+	// are carve-out markers emitted by the kernel when it closes a segment:
+	// Arg is the wall-clock width (ns) of the busy-wait spin segment, resp.
+	// the migration-warmup share of an overhead segment, that the blame
+	// walker must reclassify out of the preceding on-CPU interval.
+	ReqArrive  Kind = "req-arrive"
+	ReqStart   Kind = "req-start"
+	ReqEnd     Kind = "req-end"
+	SpinSeg    Kind = "spin-seg"
+	MigPenalty Kind = "mig-penalty"
 )
+
+// Block-event Arg values: the reason a thread vanilla-blocked. They mirror
+// sched.BlockOther/BlockFutex/BlockIO (the kernel cannot import this
+// package; blame_test pins the two lists equal).
+const (
+	BlockReasonOther int64 = iota
+	BlockReasonFutex
+	BlockReasonIO
+)
+
+// SpanArg packs a request span id and its tenant index into one trace Arg.
+// Tenant is clamped to 6 bits; span ids are per-service monotone counters.
+func SpanArg(span uint64, tenant int) int64 {
+	if tenant < 0 {
+		tenant = 0
+	}
+	if tenant > 63 {
+		tenant = 63
+	}
+	return int64(span<<6) | int64(tenant)
+}
+
+// SplitSpanArg unpacks a SpanArg-encoded Arg.
+func SplitSpanArg(arg int64) (span uint64, tenant int) {
+	return uint64(arg) >> 6, int(arg & 63)
+}
 
 // Event is one recorded scheduling event.
 type Event struct {
@@ -159,6 +199,18 @@ func CountKinds(events []Event) []KindCount {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
 	return out
+}
+
+// WriteEvents dumps an event slice as text, one event per line — the
+// slice-level form of Ring.WriteTo, for streams already extracted (fleet
+// per-machine sections).
+func WriteEvents(w io.Writer, events []Event) error {
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteTo dumps the trace as text, one event per line.

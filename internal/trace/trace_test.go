@@ -1,4 +1,4 @@
-package trace
+package trace_test
 
 import (
 	"strings"
@@ -7,6 +7,7 @@ import (
 	"oversub/internal/hw"
 	"oversub/internal/sched"
 	"oversub/internal/sim"
+	. "oversub/internal/trace"
 )
 
 func tracedKernel(t *testing.T, cap int) (*sched.Kernel, *Ring) {

@@ -8,6 +8,7 @@ import (
 	"oversub/internal/sched"
 	"oversub/internal/sim"
 	"oversub/internal/stats"
+	"oversub/internal/trace"
 )
 
 // Request is one in-flight service request. The closed-loop memcached
@@ -29,6 +30,10 @@ type Request struct {
 	// Skip marks a warmup request: it is served normally but excluded from
 	// the service's latency accounting.
 	Skip bool
+	// span is the per-service trace span id stamped by Post; it keys the
+	// req-arrive/req-start/req-end blame events. Re-stamped on every Post,
+	// so the closed-loop client's per-connection Request reuse is safe.
+	span uint64
 }
 
 // ServiceConfig assembles a Service.
@@ -83,7 +88,8 @@ type Service struct {
 	stop   func() bool
 	onDone func(*Request, sim.Duration)
 
-	done uint64
+	done     uint64
+	nextSpan uint64
 }
 
 // NewService builds the service on kernel k and spawns its workers.
@@ -127,6 +133,9 @@ func NewService(k *sched.Kernel, cfg ServiceConfig) *Service {
 // event loop from interrupt context (a NIC receive).
 func (s *Service) Post(req *Request) {
 	req.Arrival = s.k.Now()
+	req.span = s.nextSpan
+	s.nextSpan++
+	s.k.EmitTrace(-1, nil, string(trace.ReqArrive), trace.SpanArg(req.span, req.Tenant))
 	s.polls[req.Lane%len(s.polls)].Post(req)
 }
 
@@ -150,6 +159,7 @@ func (s *Service) worker(t *sched.Thread, w int) {
 		if !ok {
 			break // shutdown sentinel
 		}
+		s.k.EmitTrace(t.CPU(), t, string(trace.ReqStart), trace.SpanArg(req.span, req.Tenant))
 		t.Run(s.parse)
 		if len(s.shards) > 0 {
 			shard := s.shards[s.rng.Intn(len(s.shards))]
@@ -163,6 +173,7 @@ func (s *Service) worker(t *sched.Thread, w int) {
 		}
 		t.Run(s.send)
 		s.finish(req)
+		s.k.EmitTrace(t.CPU(), t, string(trace.ReqEnd), trace.SpanArg(req.span, req.Tenant))
 	}
 	s.drain()
 }
