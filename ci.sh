@@ -1,8 +1,11 @@
 #!/bin/sh
 # ci.sh — the repo's gate: formatting, vet, simlint, build, tests, the race
 # detector (the runner fans simulation runs across OS threads, so every
-# test also runs under -race), and a determinism smoke test proving that a
-# parallel experiment fleet is byte-identical to a serial one.
+# test also runs under -race), a determinism smoke test proving that a
+# parallel experiment fleet is byte-identical to a serial one, a stress
+# loop on the PDES shard barrier, and a sharded-fleet smoke proving that
+# splitting one fleet run across shard engines (-shards) is byte-identical
+# to serial execution.
 set -eu
 
 cd "$(dirname "$0")"
@@ -102,6 +105,15 @@ go test ./...
 
 echo "== go test -race =="
 go test -race ./...
+
+echo "== shard barrier stress: race detector x repeated runs =="
+# The PDES shard barrier (internal/sim ShardGroup) synchronises one OS
+# thread per shard every lookahead window. Repeated runs under the race
+# detector shake out ordering bugs a single pass can miss: handoff of
+# cross-shard messages, panic propagation, and the executed-event counts.
+go test ./internal/sim -race -run 'TestShardBarrierStress|TestShardGroupExecutedExact' \
+    -count=8 >/dev/null
+echo "barrier race-clean across 8 repetitions."
 
 echo "== determinism smoke: parallel == serial =="
 # The same quick experiments, serial (-jobs 1) and parallel (-jobs 8),
@@ -221,6 +233,28 @@ if ! grep -q '"schema": "oversub-fleet/v1"' "$detdir/fleet1.json"; then
     exit 1
 fi
 echo "fleet report schema-tagged and byte-identical across pool widths."
+
+echo "== sharded-fleet smoke: -shards N byte-identical to serial =="
+# The same fleet sweep split across four concurrently executing shard
+# engines must render the exact table and JSON report serial execution
+# does: sharding is a host-execution knob, never an experiment parameter.
+"$detdir/oversim" -fleet 1,3 -fleet-qps 20000 -fleet-duration 200 \
+    -fleet-variants vanilla,vb+bwd -seed 11 -shards 4 \
+    -fleet-out "$detdir/fleet-sh.json" | grep -v '^wrote ' >"$detdir/fleet-sh.txt"
+"$detdir/oversim" -fleet 1,3 -fleet-qps 20000 -fleet-duration 200 \
+    -fleet-variants vanilla,vb+bwd -seed 11 \
+    -fleet-out "$detdir/fleet-serial.json" | grep -v '^wrote ' >"$detdir/fleet-serial.txt"
+if ! cmp -s "$detdir/fleet-sh.txt" "$detdir/fleet-serial.txt"; then
+    echo "sharded-fleet smoke FAILED: -shards 4 table differs from serial" >&2
+    diff "$detdir/fleet-serial.txt" "$detdir/fleet-sh.txt" >&2 || true
+    exit 1
+fi
+if ! cmp -s "$detdir/fleet-sh.json" "$detdir/fleet-serial.json"; then
+    echo "sharded-fleet smoke FAILED: -shards 4 JSON report differs from serial" >&2
+    diff "$detdir/fleet-serial.json" "$detdir/fleet-sh.json" >&2 || true
+    exit 1
+fi
+echo "sharded fleet run byte-identical to serial."
 
 echo "== blame smoke: exactness oracle + determinism =="
 # Blame attribution runs through the exactness oracle (every thread's and

@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"time"
 
 	"oversub"
+	"oversub/internal/cluster"
 	"oversub/internal/metrics"
 	"oversub/internal/runner"
 )
@@ -208,6 +211,53 @@ func measureParallel(pool *runner.Pool, quick bool) *metrics.BenchParallel {
 	return p
 }
 
+// measureSharded runs one fleet configuration twice — serially and split
+// across shard engines — and reports the shard scaling. The two runs
+// produce byte-identical results (the differential battery's contract),
+// so the cell panics on any divergence: a bench run is a free extra
+// differential check on full-size workloads. Speedup needs real cores;
+// with GOMAXPROCS 1 the cell honestly measures coordination overhead.
+func measureSharded(quick bool) *metrics.BenchShard {
+	shards := 4
+	cfg := cluster.FleetConfig{
+		Machines: 4,
+		QPS:      40000,
+		Duration: 400 * oversub.Millisecond,
+		Seed:     benchSeed,
+	}
+	if quick {
+		cfg.Duration = 100 * oversub.Millisecond
+	}
+	run := func(k int) (*cluster.FleetResult, float64) {
+		c := cfg
+		c.Shards = k
+		start := time.Now() //simlint:allow walltime -- the bench harness measures host throughput; wall time never feeds the simulation
+		res, err := cluster.Run(c)
+		if err != nil {
+			panic(fmt.Sprintf("bench: shard cell run failed: %v", err))
+		}
+		return res, time.Since(start).Seconds() //simlint:allow walltime -- the bench harness measures host throughput; wall time never feeds the simulation
+	}
+	serialRes, serialSec := run(0)
+	shardRes, shardSec := run(shards)
+	sj, _ := json.Marshal(serialRes)
+	kj, _ := json.Marshal(shardRes)
+	if !bytes.Equal(sj, kj) {
+		panic("bench: sharded fleet run diverged from serial — determinism bug")
+	}
+	s := &metrics.BenchShard{Shards: shards, Machines: cfg.Machines}
+	if serialSec > 0 {
+		s.SerialEventsPerSec = float64(serialRes.Events) / serialSec
+	}
+	if shardSec > 0 {
+		s.ShardedEventsPerSec = float64(shardRes.Events) / shardSec
+	}
+	if s.SerialEventsPerSec > 0 {
+		s.Speedup = s.ShardedEventsPerSec / s.SerialEventsPerSec
+	}
+	return s
+}
+
 // runBench implements the bench subcommand: measure the matrix, write the
 // dated report into outDir, and compare against the latest prior report
 // there. A non-quick comparison that regresses any case's throughput by
@@ -238,6 +288,11 @@ func runBench(o options, pool *runner.Pool, outDir string, threshold float64) er
 		report.Parallel = p
 		fmt.Printf("  %-24s %d jobs: %.1f -> %.1f runs/s (speedup %.2fx)\n",
 			"parallel", p.Jobs, p.SerialRunsPerSec, p.ParallelRunsPerSec, p.Speedup)
+	}
+	if s := measureSharded(o.quick); s != nil {
+		report.Shard = s
+		fmt.Printf("  %-24s %d shards: %.3g -> %.3g events/s (speedup %.2fx)\n",
+			"sharded-fleet", s.Shards, s.SerialEventsPerSec, s.ShardedEventsPerSec, s.Speedup)
 	}
 
 	// The latest existing report — including one from earlier today, which

@@ -69,6 +69,7 @@ type options struct {
 	metricsTo  string
 	metricsFmt string
 	policy     string
+	shards     int
 }
 
 type experiment struct {
@@ -121,6 +122,7 @@ func main() {
 	flag.StringVar(&o.metricsTo, "metrics", "", "record a deterministic metrics time-series of a representative run and write it to this file")
 	flag.StringVar(&o.metricsFmt, "metrics-format", "summary", "metrics output format: csv, json, or summary")
 	flag.StringVar(&o.policy, "policy", "", "scheduling policy for every run: cfs, edf, shinjuku, or oracle (default cfs)")
+	flag.IntVar(&o.shards, "shards", 0, "split each fleet run across this many concurrently executing shard engines (results stay byte-identical; 0/1 = serial)")
 	flag.IntVar(&jobs, "jobs", 0, "parallel simulation runs (0 = GOMAXPROCS, 1 = serial)")
 	flag.BoolVar(&nocache, "nocache", false, "ignore and do not write the result cache")
 	flag.StringVar(&cacheDir, "cache", filepath.Join("results", "cache"), "result cache directory")

@@ -29,6 +29,9 @@ type fleetFlags struct {
 	// heterogeneous per-machine round-robin list (-fleet-sched).
 	sched     string
 	schedList string
+	// shards splits each run across concurrently executing shard engines
+	// (byte-identical results; a pure host-execution knob).
+	shards int
 }
 
 // splitList parses a comma-separated flag value.
@@ -116,6 +119,7 @@ func runFleet(pool *runner.Pool, ff fleetFlags, seed uint64, traceTo, traceFm, b
 			Warmup:          oversub.Duration(ff.warmup) * oversub.Millisecond,
 			Seed:            seed,
 			MachinePolicies: schedList,
+			Shards:          ff.shards,
 		},
 		Machines: machines,
 		Policies: policies,

@@ -66,6 +66,7 @@ func main() {
 		fleetSLO  = flag.Int("fleet-slo", 400, "fleet: p99 SLO in microseconds")
 		fleetOut  = flag.String("fleet-out", "", "fleet: also write the oversub-fleet/v1 JSON report to this file")
 		fleetSch  = flag.String("fleet-sched", "", "fleet: per-machine scheduling policies assigned round robin (e.g. \"cfs,shinjuku\"); overrides -policy")
+		fleetShr  = flag.Int("shards", 0, "fleet: split each run across this many concurrently executing shard engines (results stay byte-identical; 0/1 = serial)")
 	)
 	flag.Parse()
 
@@ -129,7 +130,7 @@ func main() {
 			machines: *fleetMs, qps: *fleetQPS, duration: *fleetDur,
 			warmup: *fleetWarm, policies: *fleetPol, variants: *fleetVar,
 			arrival: *fleetArr, sloUs: *fleetSLO, outJSON: *fleetOut,
-			sched: *policy, schedList: *fleetSch,
+			sched: *policy, schedList: *fleetSch, shards: *fleetShr,
 		}
 		if err := runFleet(pool, ff, *seed, *traceTo, *traceFm, *blameTo, *metTo, *metFm); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"hash/fnv"
 	"testing"
+
+	"oversub/internal/cluster"
+	"oversub/internal/workload"
 )
 
 // goldenScenario exercises threads, locks, VB, BWD, epoll, and elasticity
@@ -102,7 +105,30 @@ func engineTrioSummaries() []string {
 	s4 := fmt.Sprintf("memcached served=%d mean=%d p95=%d p99=%d exec=%d events=%d futex=%d/%d epoll=%d/%d",
 		mc.Served, mc.Mean, mc.P95, mc.P99, mc.ExecTime, mc.Events,
 		mc.Metrics.FutexWaits, mc.Metrics.FutexWakes, mc.Metrics.EpollWaits, mc.Metrics.EpollPosts)
-	return []string{s1, s2, s3, s4}
+	return []string{s1, s2, s3, s4, fleetGoldenSummary(0)}
+}
+
+// fleetGoldenSummary runs the golden fleet cell — a 3-machine VB+BWD
+// fleet under fixed open-loop load — at the given shard count and renders
+// the result canonically. Sharded execution must reproduce the serial pin
+// byte for byte (TestGoldenEngineTrio runs it at several shard counts);
+// Events is in the string, so the de-duplicated executed-event merge is
+// pinned along with the latency and placement numbers.
+func fleetGoldenSummary(shards int) string {
+	res, err := cluster.Run(cluster.FleetConfig{
+		Machines: 3,
+		Machine:  cluster.MachineConfig{Feat: Features{VB: true}, Detect: workload.DetectBWD},
+		QPS:      30000,
+		Duration: 150 * Millisecond,
+		Seed:     7,
+		Shards:   shards,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return fmt.Sprintf("fleet m=%d goodput=%.3f mean=%d p50=%d p99=%d p999=%d util=%.4f spread=%.4f backlog=%d events=%d",
+		res.Machines, res.GoodputQPS, res.Mean, res.P50, res.P99, res.P999,
+		res.UtilMeanPct, res.UtilSpreadPct, res.Backlog, res.Events)
 }
 
 // TestGoldenEngineTrio pins the fast-path event core to pre-refactor
@@ -115,11 +141,21 @@ func TestGoldenEngineTrio(t *testing.T) {
 		"fig9 streamcluster vanilla exec=19639353 events=47759 cs=4481/0 wake=4481 | vb exec=15133543 events=41769 cs=4492/0 vbwake=3283",
 		"lu bwd exec=57416886 events=10673 bwd=832 ple=0 spins=832",
 		"memcached served=2000 mean=122246 p95=395594 p99=613749 exec=4676161 events=21753 futex=269/269 epoll=2007/2007",
+		"fleet m=3 goodput=30429.630 mean=24981 p50=17112 p99=84883 p999=218784 util=400.0000 spread=0.0000 backlog=0 events=73983",
 	}
 	got := engineTrioSummaries()
 	for i := range want {
 		if got[i] != want[i] {
 			t.Errorf("summary %d diverged from pre-refactor pin:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+	// Metamorphic shard invariance: the golden fleet cell must reproduce
+	// the serial pin byte for byte no matter how many shard engines the
+	// run is split across (including a count that does not divide the
+	// machine count evenly).
+	for _, k := range []int{2, 3} {
+		if got := fleetGoldenSummary(k); got != want[4] {
+			t.Errorf("fleet cell with %d shards diverged from the serial pin:\n got %q\nwant %q", k, got, want[4])
 		}
 	}
 }

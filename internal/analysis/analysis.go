@@ -111,6 +111,7 @@ func Analyzers() []*Analyzer {
 		Atomics,
 		SeedTaint,
 		SharedState,
+		ShardSafe,
 		HotPath,
 		KindSwitch,
 		SchemaLit,

@@ -51,6 +51,7 @@ func TestRules(t *testing.T) {
 		"atomics",
 		"seedtaint",
 		"sharedstate",
+		"shardsafe",
 		"hotpath",
 		"kindswitch",
 		"schemalit",
@@ -251,7 +252,11 @@ func TestSimScopeSeesPolicyFiles(t *testing.T) {
 	}
 	for path, files := range map[string][]string{
 		"oversub/internal/trace":   {"blame.go", "oracle.go", "analytics.go", "chrome.go"},
-		"oversub/internal/cluster": {"observe.go", "cluster.go"},
+		"oversub/internal/cluster": {"observe.go", "cluster.go", "shard.go"},
+		// The PDES shard engine: its files host the goroutine fan-out and
+		// the cross-shard delivery logic — precisely the code gostmt,
+		// sharedstate, and shardsafe exist to police.
+		"oversub/internal/sim": {"shard.go", "engine.go", "rng.go"},
 	} {
 		pkg := byPath[path]
 		if pkg == nil {

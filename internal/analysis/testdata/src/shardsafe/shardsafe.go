@@ -1,0 +1,48 @@
+// Package shardsafe seeds violations for simlint's shardsafe rule:
+// pointer-receiver method calls on package-level vars — mutation through
+// an implicit &v that sharedstate's write scan cannot see.
+package shardsafe
+
+type counter struct{ n uint64 }
+
+func (c *counter) Add(d uint64) uint64 { c.n += d; return c.n }
+func (c *counter) Load() uint64        { return c.n }
+func (c counter) Snapshot() uint64     { return c.n }
+
+// A package-level counter mutated only through method calls: invisible to
+// a plain-write scan, racy across shard workers all the same.
+var ids counter
+
+type registry struct{ names map[string]int }
+
+func (r *registry) Put(k string) { r.names[k] = len(r.names) }
+
+var defaults = [2]registry{}
+
+func next() uint64 {
+	return ids.Add(1) // want `\[shardsafe\] pointer-receiver call ids\.Add on package-level var ids hides a cross-shard mutation`
+}
+
+func peek() uint64 {
+	// Reads through pointer receivers are flagged too: the rule cannot
+	// tell Load from Add, and state reachable only through pointer
+	// receivers is still shared mutable state.
+	return ids.Load() // want `\[shardsafe\] pointer-receiver call ids\.Load on package-level var ids hides a cross-shard mutation`
+}
+
+func register(k string) {
+	// Mutation through an element of a package-level composite.
+	defaults[0].Put(k) // want `\[shardsafe\] pointer-receiver call defaults\.Put on package-level var defaults hides a cross-shard mutation`
+}
+
+// Value-receiver calls copy the receiver and stay legal, like read-only
+// lookup tables under sharedstate.
+func snapshot() uint64 {
+	return ids.Snapshot()
+}
+
+// Locals are per-run state, not shared: never flagged.
+func local() uint64 {
+	var c counter
+	return c.Add(1)
+}

@@ -85,6 +85,16 @@ type FleetConfig struct {
 	// Seed makes the run reproducible: equal seeds give byte-identical
 	// results.
 	Seed uint64
+	// Shards splits the run into machine groups (machine m goes to shard
+	// m mod Shards), each executing on its own event engine, concurrently
+	// when GOMAXPROCS allows. Results are byte-identical to the serial run
+	// — the differential battery in shard_test.go enforces this — so it is
+	// a pure host-execution knob: excluded from result-cache fingerprints
+	// (json:"-") and legal to flip on any cached experiment. 0 or 1 runs
+	// serially. Sharding requires a replicable dispatcher; with jsq/ewma
+	// (whose picks read completion state the shards cannot know under
+	// lookahead) the run silently falls back to serial. See DESIGN.md §15.
+	Shards int `json:"-"`
 	// TracerFor, when non-nil, supplies a per-machine tracer (nil return
 	// = untraced machine). Observation-only; excluded from result-cache
 	// fingerprints.
@@ -219,6 +229,9 @@ type machine struct {
 }
 
 // fleet is the in-flight run state shared by the generator trampolines.
+// Under sharded execution each shard holds one fleet value — a full
+// replica of the driver state (dispatcher, generators, issued matrix) but
+// with machines built only for the shard's own slice (nil elsewhere).
 type fleet struct {
 	cfg      FleetConfig
 	eng      *sim.Engine
@@ -227,6 +240,10 @@ type fleet struct {
 	end      sim.Time
 	warmEnd  sim.Time
 	issued   [][]uint64 // [machine][tenant]
+	// genExec counts generator (arrival-stream) event firings. Sharded
+	// runs replay the full driver on every shard, so the merged executed-
+	// event count must de-duplicate the replicas: see runSharded.
+	genExec uint64
 }
 
 // tenantGen drives one tenant's open-loop arrival stream.
@@ -251,6 +268,7 @@ func batchBody(t *sched.Thread) {
 
 func genArrive(arg any, _, _ uint64) {
 	g := arg.(*tenantGen)
+	g.f.genExec++
 	now := g.f.eng.Now()
 	if now >= g.f.end {
 		return // horizon reached: the stream stops, backlog is counted
@@ -267,26 +285,87 @@ func (g *tenantGen) emit(now sim.Time) {
 	g.f.disp.Sent(m)
 	g.f.issued[m][g.idx]++
 	g.lane++
+	work := g.spec.workFor(g.rng)
+	mc := g.f.machines[m]
+	if mc == nil {
+		// Shard replica: another shard owns machine m. The dispatch
+		// decision, issued count, lane, and work draw above still had to
+		// happen — every shard replays the identical driver stream so its
+		// RNG and dispatcher state stay in lockstep — but the request
+		// itself materializes only on the owning shard.
+		return
+	}
 	req := &workload.Request{
-		Work:    g.spec.workFor(g.rng),
+		Work:    work,
 		Lane:    g.lane,
 		Machine: m,
 		Tenant:  g.idx,
 		Skip:    now < g.f.warmEnd,
 	}
-	g.f.machines[m].svcs[g.idx].Post(req)
+	mc.svcs[g.idx].Post(req)
 }
 
-// Run executes one fleet experiment. All machines share one event engine;
-// the returned result is a pure function of cfg's value fields.
-func Run(cfg FleetConfig) (*FleetResult, error) {
-	cfg.defaults()
+// newFleetEngine builds a fleet engine from the experiment seed. Sharded
+// runs build every shard engine with the same seed: each shard replays
+// the identical driver stream (generators, dispatcher) and the
+// byte-identical merge depends on all replicas drawing the same sequence.
+func newFleetEngine(seed uint64) *sim.Engine {
+	return sim.NewEngine(seed*0x9E3779B97F4A7C15 + 0xF1EE7)
+}
 
-	totalShare := 0.0
+// validate rejects configurations Run cannot execute. Shared by the
+// serial and sharded paths so both fail identically.
+func (cfg *FleetConfig) validate() error {
 	for i := range cfg.Tenants {
 		if cfg.Tenants[i].Share <= 0 {
-			return nil, fmt.Errorf("cluster: tenant %q needs a positive share", cfg.Tenants[i].Name)
+			return fmt.Errorf("cluster: tenant %q needs a positive share", cfg.Tenants[i].Name)
 		}
+	}
+	if !sched.ValidPolicy(cfg.Machine.SchedPolicy) {
+		return fmt.Errorf("cluster: unknown scheduling policy %q", cfg.Machine.SchedPolicy)
+	}
+	for _, p := range cfg.MachinePolicies {
+		if !sched.ValidPolicy(p) {
+			return fmt.Errorf("cluster: unknown scheduling policy %q", p)
+		}
+	}
+	return nil
+}
+
+// Run executes one fleet experiment. The returned result is a pure
+// function of cfg's value fields: the serial path runs all machines on
+// one event engine, and cfg.Shards > 1 splits them across concurrently
+// executing engines with a byte-identical merge (see runSharded).
+func Run(cfg FleetConfig) (*FleetResult, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if k := cfg.effectiveShards(); k > 1 {
+		return runSharded(cfg, k)
+	}
+
+	eng := newFleetEngine(cfg.Seed)
+	f, err := buildFleet(cfg, eng, nil)
+	if err != nil {
+		return nil, err
+	}
+	f.start()
+	eng.Run(f.end)
+	f.stop()
+	return f.collect(eng.Executed()), nil
+}
+
+// buildFleet constructs the run state for one engine. owns selects the
+// machines this engine simulates (nil = all): construction still walks
+// every machine index in order — the engine-RNG draw sequence (one
+// service split per machine x tenant, then one generator split per
+// tenant) is part of the run's definition and must be identical on every
+// shard replica — but kernels, services, and detectors materialize only
+// for owned machines; the rest stay nil.
+func buildFleet(cfg FleetConfig, eng *sim.Engine, owns func(m int) bool) (*fleet, error) {
+	totalShare := 0.0
+	for i := range cfg.Tenants {
 		totalShare += cfg.Tenants[i].Share
 	}
 
@@ -295,16 +374,6 @@ func Run(cfg FleetConfig) (*FleetResult, error) {
 		return nil, err
 	}
 
-	if !sched.ValidPolicy(cfg.Machine.SchedPolicy) {
-		return nil, fmt.Errorf("cluster: unknown scheduling policy %q", cfg.Machine.SchedPolicy)
-	}
-	for _, p := range cfg.MachinePolicies {
-		if !sched.ValidPolicy(p) {
-			return nil, fmt.Errorf("cluster: unknown scheduling policy %q", p)
-		}
-	}
-
-	eng := sim.NewEngine(cfg.Seed*0x9E3779B97F4A7C15 + 0xF1EE7)
 	f := &fleet{
 		cfg:     cfg,
 		eng:     eng,
@@ -322,6 +391,16 @@ func Run(cfg FleetConfig) (*FleetResult, error) {
 	}
 	topo := hw.Topology{Sockets: 2, CoresPerSocket: perSocket, ThreadsPerCore: cfg.Machine.SMT}
 	for m := 0; m < cfg.Machines; m++ {
+		f.issued[m] = make([]uint64, len(cfg.Tenants))
+		if owns != nil && !owns(m) {
+			// Replica lockstep: burn the service RNG splits the owning
+			// shard draws for this machine, without building it.
+			for range cfg.Tenants {
+				eng.Rand().Split()
+			}
+			f.machines = append(f.machines, nil)
+			continue
+		}
 		pol := cfg.Machine.SchedPolicy
 		if len(cfg.MachinePolicies) > 0 {
 			pol = cfg.MachinePolicies[m%len(cfg.MachinePolicies)]
@@ -379,6 +458,11 @@ func Run(cfg FleetConfig) (*FleetResult, error) {
 				Lookup:  1500 * sim.Nanosecond,
 				Send:    3 * sim.Microsecond,
 				Latency: rec,
+				// The explicit RNG pins the engine-RNG draw to this point
+				// in construction order, owned or not; NewService would
+				// draw the identical split itself, but un-owned machines
+				// must burn the same draw (above) for replica lockstep.
+				RNG: eng.Rand().Split(),
 				OnDone: func(req *workload.Request, lat sim.Duration) {
 					f.disp.Done(req.Machine, lat)
 				},
@@ -388,7 +472,6 @@ func Run(cfg FleetConfig) (*FleetResult, error) {
 			k.Spawn(fmt.Sprintf("m%d-batch-%d", m, b), batchBody)
 		}
 		f.machines = append(f.machines, mc)
-		f.issued[m] = make([]uint64, len(cfg.Tenants))
 	}
 
 	// One generator per tenant, each with its own RNG split (split order
@@ -403,34 +486,40 @@ func Run(cfg FleetConfig) (*FleetResult, error) {
 		g := &tenantGen{f: f, idx: ti, spec: ts, proc: proc, rng: eng.Rand().Split()}
 		eng.AfterCall(proc.Next(0, g.rng), genArrive, g, 0, 0)
 	}
+	return f, nil
+}
 
+// start arms the per-machine detectors.
+func (f *fleet) start() {
 	for _, mc := range f.machines {
-		if mc.det != nil {
+		if mc != nil && mc.det != nil {
 			mc.det.Start()
 		}
 	}
+}
 
-	eng.Run(f.end)
-
+// stop disarms detectors and flushes samplers, mirroring
+// RunToCompletion's end-of-run sampler flush.
+func (f *fleet) stop() {
 	for _, mc := range f.machines {
-		if mc.det != nil {
+		if mc != nil && mc.det != nil {
 			mc.det.Stop()
 		}
 	}
-	// Mirror RunToCompletion's end-of-run sampler flush.
 	for _, mc := range f.machines {
-		if mc.smp != nil {
-			mc.smp.Sample(mc.k, eng.Now())
+		if mc != nil && mc.smp != nil {
+			mc.smp.Sample(mc.k, f.eng.Now())
 		}
 	}
-
-	return f.collect(), nil
 }
 
 // collect reduces the run state into a FleetResult. All aggregation is
 // digest merges and integer sums — deterministic in any order, iterated in
-// index order anyway.
-func (f *fleet) collect() *FleetResult {
+// index order anyway. events is the executed-event count: the engine's
+// counter on the serial path, the de-duplicated merge across shard
+// engines on the sharded one (every machine in f.machines is non-nil by
+// the time collect runs — runSharded grafts owned machines into one view).
+func (f *fleet) collect(events uint64) *FleetResult {
 	cfg := f.cfg
 	measure := cfg.Duration - cfg.Warmup
 
@@ -439,7 +528,7 @@ func (f *fleet) collect() *FleetResult {
 		Policy:     f.disp.Policy(),
 		Arrival:    cfg.Arrival,
 		OfferedQPS: cfg.QPS,
-		Events:     f.eng.Executed(),
+		Events:     events,
 	}
 	if res.Arrival == "" {
 		res.Arrival = "poisson"

@@ -1,0 +1,31 @@
+package epoll
+
+import (
+	"testing"
+
+	"oversub/internal/sched"
+)
+
+// TestCrossKernelWaitPanics pins the shard-affinity guard: a thread from
+// one kernel entering another kernel's epoll path must fail at the
+// crossing — under sharded fleet execution the two kernels may be running
+// on different engines concurrently.
+func TestCrossKernelWaitPanics(t *testing.T) {
+	k1 := testKernel(t, 1, sched.Features{})
+	k2 := testKernel(t, 1, sched.Features{})
+	p := New(k1)
+	foreign := k2.Spawn("foreign", func(th *sched.Thread) {})
+	for name, call := range map[string]func(){
+		"Wait":     func() { p.Wait(foreign) },
+		"PostFrom": func() { p.PostFrom(foreign, "ev") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted a thread from another kernel", name)
+				}
+			}()
+			call()
+		}()
+	}
+}

@@ -52,6 +52,7 @@ func (p *Poll) WaitersCount() int { return len(p.waiters) - p.waitHead }
 // Wait blocks t until an event is available and returns it. If an event is
 // already queued it is consumed immediately, paying only the syscall entry.
 func (p *Poll) Wait(t *sched.Thread) Event {
+	p.k.AssertOwns(t)
 	costs := p.k.Costs()
 	t.Run(costs.SyscallEntry)
 	p.k.Metrics.EpollWaits++
@@ -99,6 +100,7 @@ func (p *Poll) Post(ev Event) {
 // PostFrom delivers an event from thread context: waker pays the wakeup
 // path, as in futex_wake.
 func (p *Poll) PostFrom(waker *sched.Thread, ev Event) {
+	p.k.AssertOwns(waker)
 	p.ready = append(p.ready, ev)
 	p.k.Metrics.EpollPosts++
 	if w := p.popWaiter(); w != nil && !w.done {

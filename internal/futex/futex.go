@@ -168,6 +168,7 @@ func (f *Futex) useVB() bool {
 // otherwise. The caller is charged the full kernel path.
 func (f *Futex) Wait(t *sched.Thread, val uint64) bool {
 	k := f.tbl.k
+	k.AssertOwns(t)
 	costs := k.Costs()
 	t.Run(costs.SyscallEntry)
 	f.b.lock.Lock(t)
@@ -212,6 +213,7 @@ func (f *Futex) Wake(t *sched.Thread, n int) int {
 		return 0
 	}
 	k := f.tbl.k
+	k.AssertOwns(t)
 	costs := k.Costs()
 	t.Run(costs.SyscallEntry)
 	f.b.lock.Lock(t)
@@ -343,6 +345,7 @@ func (f *Futex) DebugBucket() string {
 // (true, false); expiry returns (true, true).
 func (f *Futex) WaitTimeout(t *sched.Thread, val uint64, timeout sim.Duration) (slept, timedOut bool) {
 	k := f.tbl.k
+	k.AssertOwns(t)
 	costs := k.Costs()
 	t.Run(costs.SyscallEntry)
 	f.b.lock.Lock(t)

@@ -56,6 +56,25 @@ type BenchParallel struct {
 	Speedup float64 `json:"speedup"`
 }
 
+// BenchShard records the shard-scaling cell: one fleet configuration
+// executed serially and split across shard engines (cluster.FleetConfig
+// .Shards), byte-identical results, different host cost. Speedup above 1
+// needs real cores — on a single-CPU host the sharded run measures pure
+// coordination overhead and honestly reports <= 1.
+type BenchShard struct {
+	// Shards is the shard count of the sharded run.
+	Shards int `json:"shards"`
+	// Machines is the fleet size of the measured configuration.
+	Machines int `json:"machines"`
+	// SerialEventsPerSec and ShardedEventsPerSec are merged-event
+	// throughputs (identical event totals by construction, so the ratio
+	// is pure host time).
+	SerialEventsPerSec  float64 `json:"serial_events_per_sec"`
+	ShardedEventsPerSec float64 `json:"sharded_events_per_sec"`
+	// Speedup is sharded over serial.
+	Speedup float64 `json:"speedup"`
+}
+
 // BenchReport is one BENCH_*.json document: a dated snapshot of simulator
 // host throughput across the representative workload matrix.
 type BenchReport struct {
@@ -72,6 +91,7 @@ type BenchReport struct {
 
 	Cases    []BenchCase    `json:"cases"`
 	Parallel *BenchParallel `json:"parallel,omitempty"`
+	Shard    *BenchShard    `json:"shard,omitempty"`
 }
 
 // Validate checks the report against the schema: version match, a
@@ -106,6 +126,11 @@ func (r *BenchReport) Validate() error {
 	if p := r.Parallel; p != nil {
 		if p.Jobs <= 0 || p.Runs <= 0 || p.SerialRunsPerSec < 0 || p.ParallelRunsPerSec < 0 {
 			return fmt.Errorf("bench: parallel cell malformed")
+		}
+	}
+	if s := r.Shard; s != nil {
+		if s.Shards <= 1 || s.Machines <= 0 || s.SerialEventsPerSec < 0 || s.ShardedEventsPerSec < 0 {
+			return fmt.Errorf("bench: shard cell malformed")
 		}
 	}
 	return nil
@@ -233,6 +258,16 @@ func CompareBench(w io.Writer, prev, cur *BenchReport, threshold float64) ([]Ben
 	if prev.Parallel != nil && cur.Parallel != nil {
 		if _, err := fmt.Fprintf(w, "  %-24s %16.2f %16.2f %8s\n",
 			"parallel-speedup", prev.Parallel.Speedup, cur.Parallel.Speedup, "-"); err != nil {
+			return nil, err
+		}
+	}
+	if cur.Shard != nil {
+		old := "-"
+		if prev.Shard != nil {
+			old = fmt.Sprintf("%.2f", prev.Shard.Speedup)
+		}
+		if _, err := fmt.Fprintf(w, "  %-24s %16s %16.2f %8s\n",
+			"shard-speedup", old, cur.Shard.Speedup, "-"); err != nil {
 			return nil, err
 		}
 	}

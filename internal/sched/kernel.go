@@ -304,6 +304,19 @@ func (k *Kernel) threadLess(a, b *Thread) bool {
 // Engine returns the simulation engine.
 func (k *Kernel) Engine() *sim.Engine { return k.eng }
 
+// AssertOwns panics unless t belongs to this kernel. Kernel-path entry
+// points that accept caller-supplied threads (futex wait, epoll wait and
+// thread-context post) call it so a thread routed across shard/machine
+// boundaries — for example a request object captured by a closure on the
+// wrong machine under sharded fleet execution — fails immediately and
+// deterministically at the crossing, instead of racing two engines'
+// runqueues and corrupting both silently.
+func (k *Kernel) AssertOwns(t *Thread) {
+	if t != nil && t.k != k {
+		panic("sched: thread " + t.Name + " belongs to a different kernel: cross-shard state leak")
+	}
+}
+
 // Now returns the current virtual time.
 func (k *Kernel) Now() sim.Time { return k.eng.Now() }
 

@@ -1,0 +1,224 @@
+// Conservative parallel discrete-event execution (classic null-message
+// PDES, Chandy/Misra/Bryant style) over a group of independent engines.
+//
+// A ShardGroup partitions a simulation into shards, each with its own
+// Engine, clock, queue, and RNG stream. Within a lookahead window the
+// shards share nothing and may execute on separate goroutines; all
+// cross-shard interaction goes through Post, which may only target times
+// at or beyond the current window's end. At each window barrier the
+// coordinator collects every shard's outbox and delivers it in a total
+// order — (time, source shard, post order) — that is a pure function of
+// the simulated run, never of goroutine scheduling. Combined with each
+// engine's own (time, sequence) total order this makes the whole group's
+// execution byte-identical across host parallelism: running the windows
+// serially on one goroutine or fanned out across GOMAXPROCS workers fires
+// exactly the same events in exactly the same per-shard order.
+//
+// The lookahead contract is the conservative-PDES classic: an event
+// executing at time t may post cross-shard work no earlier than t +
+// lookahead. The group sizes each window as [start, min-next-event +
+// lookahead], so every legal post lands at or after the window end and is
+// delivered at the barrier; an early post is a causality violation and
+// panics immediately rather than silently reordering another shard's
+// past. Lookahead zero (or negative) declares the shards fully
+// independent for the whole horizon — one window, no synchronization —
+// which is the fleet simulation's regime: machines interact only through
+// the replicated dispatcher, never through cross-machine events.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// shardPost is one cross-shard event in flight between windows.
+type shardPost struct {
+	at  Time
+	src int
+	fn  func()
+}
+
+// ShardGroup coordinates conservative parallel execution across a set of
+// engines. Construct with NewShardGroup; the zero value is not usable.
+type ShardGroup struct {
+	engines []*Engine
+	// outbox[src][dst] buffers posts made by shard src for shard dst
+	// during the current window. Each src row is written only by the
+	// goroutine executing shard src, so no locking is needed; the barrier
+	// drains every row on the coordinator goroutine.
+	outbox [][][]shardPost
+	// pending[src] counts undelivered posts from src (same single-writer
+	// discipline as outbox).
+	pending []int
+	// windowEnd is the end of the window currently executing (or last
+	// executed). Posts below it violate the lookahead contract. Written by
+	// the coordinator between windows, read-only while workers run.
+	windowEnd Time
+	// panics[i] records a panic from shard i's worker; the coordinator
+	// rethrows the lowest-indexed one so a deterministic simulation bug
+	// surfaces deterministically even under parallel execution.
+	panics []any
+}
+
+// NewShardGroup groups the given engines for conservative parallel
+// execution. The engines must be freshly built or otherwise exclusively
+// owned by the group; sharing an engine between groups or running it
+// directly while the group runs is a data race.
+func NewShardGroup(engines []*Engine) *ShardGroup {
+	if len(engines) == 0 {
+		panic("sim: NewShardGroup needs at least one engine")
+	}
+	g := &ShardGroup{
+		engines: engines,
+		outbox:  make([][][]shardPost, len(engines)),
+		pending: make([]int, len(engines)),
+		panics:  make([]any, len(engines)),
+	}
+	for s := range g.outbox {
+		g.outbox[s] = make([][]shardPost, len(engines))
+	}
+	return g
+}
+
+// Shards returns the number of shards in the group.
+func (g *ShardGroup) Shards() int { return len(g.engines) }
+
+// Engine returns shard i's engine.
+func (g *ShardGroup) Engine(i int) *Engine { return g.engines[i] }
+
+// Executed returns the total number of events fired across all shards.
+func (g *ShardGroup) Executed() uint64 {
+	var n uint64
+	for _, e := range g.engines {
+		n += e.Executed()
+	}
+	return n
+}
+
+// Post schedules fn on shard dst at time at, on behalf of shard src. It
+// is the only legal cross-shard channel: src's worker may call it while
+// its window executes (each source buffers into its own outbox row), and
+// delivery happens at the next barrier in (at, src, post order) — an
+// order independent of host scheduling. Posting below the current
+// window's end panics: the target shard may already have executed past
+// that instant, so the post cannot be delivered causally.
+func (g *ShardGroup) Post(src, dst int, at Time, fn func()) {
+	if at < g.windowEnd {
+		panic(fmt.Sprintf("sim: cross-shard post at %v violates the lookahead horizon %v", at, g.windowEnd))
+	}
+	g.outbox[src][dst] = append(g.outbox[src][dst], shardPost{at: at, src: src, fn: fn})
+	g.pending[src]++
+}
+
+// deliver drains every outbox into the destination engines. Runs on the
+// coordinator between windows. Delivery order per destination is (at,
+// src, post order) — stable-sorted so same-source posts keep their append
+// order — and each delivery consumes one destination sequence number, so
+// ties against shard-local events resolve identically on every run.
+func (g *ShardGroup) deliver() {
+	total := 0
+	for _, n := range g.pending {
+		total += n
+	}
+	if total == 0 {
+		return
+	}
+	for dst, e := range g.engines {
+		var batch []shardPost
+		for src := range g.engines {
+			batch = append(batch, g.outbox[src][dst]...)
+			g.outbox[src][dst] = g.outbox[src][dst][:0]
+		}
+		sort.SliceStable(batch, func(a, b int) bool {
+			if batch[a].at != batch[b].at {
+				return batch[a].at < batch[b].at
+			}
+			return batch[a].src < batch[b].src
+		})
+		for _, p := range batch {
+			e.At(p.at, p.fn)
+		}
+	}
+	for s := range g.pending {
+		g.pending[s] = 0
+	}
+}
+
+// nextAt returns the earliest queued event time across all shards.
+func (g *ShardGroup) nextAt() (Time, bool) {
+	var best Time
+	found := false
+	for _, e := range g.engines {
+		if t, ok := e.NextAt(); ok && (!found || t < best) {
+			best, found = t, true
+		}
+	}
+	return best, found
+}
+
+// Run executes every event at or before until across all shards, in
+// lookahead-sized windows. parallel > 1 fans the shards of each window
+// out across goroutines (one per shard; GOMAXPROCS bounds real
+// concurrency); parallel <= 1 runs them inline in shard order, which is
+// the serial reference the parallel mode must — and by construction does
+// — reproduce byte-identically. Lookahead <= 0 means the shards are
+// independent over the whole horizon: one window, and any Post inside it
+// below until panics. All shard clocks end at until; Run returns it.
+func (g *ShardGroup) Run(until Time, lookahead Duration, parallel int) Time {
+	if until <= 0 {
+		panic("sim: ShardGroup.Run needs a positive horizon")
+	}
+	for {
+		g.deliver()
+		next, ok := g.nextAt()
+		if !ok || next > until {
+			break
+		}
+		end := until
+		if lookahead > 0 {
+			if w := next.Add(lookahead); w < end {
+				end = w
+			}
+		}
+		g.windowEnd = end
+		g.runWindow(end, parallel)
+	}
+	for _, e := range g.engines {
+		e.AdvanceTo(until)
+	}
+	return until
+}
+
+// runWindow executes one window on every shard.
+func (g *ShardGroup) runWindow(end Time, parallel int) {
+	if parallel <= 1 || len(g.engines) == 1 {
+		for _, e := range g.engines {
+			e.Run(end)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := range g.engines {
+		wg.Add(1)
+		//simlint:allow gostmt -- conservative-PDES shard workers: within a window the shards share no state (per-shard engines, single-writer outbox rows), and the barrier merge in deliver restores a host-schedule-independent order
+		go func(i int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					g.panics[i] = r
+				}
+			}()
+			g.engines[i].Run(end)
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range g.panics {
+		if p != nil {
+			for j := range g.panics {
+				g.panics[j] = nil
+			}
+			panic(p)
+		}
+	}
+}
